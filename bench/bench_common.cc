@@ -1,0 +1,106 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <fstream>
+#include <string>
+
+namespace mobicache {
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, uint64_t* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::strtoull(arg + len + 1, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+SweepOptions ParseSweepArgs(int argc, char** argv, SweepOptions defaults,
+                            std::string* csv_path) {
+  SweepOptions options = defaults;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t value = 0;
+    if (std::strcmp(arg, "--no-sim") == 0) {
+      options.simulate = false;
+    } else if (std::strncmp(arg, "--csv=", 6) == 0) {
+      if (csv_path != nullptr) *csv_path = arg + 6;
+    } else if (ParseFlag(arg, "--points", &value)) {
+      options.points = static_cast<int>(value);
+    } else if (ParseFlag(arg, "--measure", &value)) {
+      options.measure_intervals = value;
+    } else if (ParseFlag(arg, "--warmup", &value)) {
+      options.warmup_intervals = value;
+    } else if (ParseFlag(arg, "--units", &value)) {
+      options.num_units = value;
+    } else if (ParseFlag(arg, "--hotspot", &value)) {
+      options.hotspot_size = value;
+    } else if (ParseFlag(arg, "--seed", &value)) {
+      options.seed = value;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: %s [--points=N] [--measure=N] "
+                   "[--warmup=N] [--units=N] [--hotspot=N] [--seed=N] "
+                   "[--no-sim] [--csv=PATH]\n",
+                   arg, argv[0]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+int RunFigureBench(PaperScenario scenario,
+                   const std::vector<StrategyKind>& strategies, int argc,
+                   char** argv, SweepOptions defaults) {
+  std::string csv_path;
+  const SweepOptions options =
+      ParseSweepArgs(argc, argv, defaults, &csv_path);
+  const ModelParams p = ScenarioParams(scenario);
+  const ScenarioSweep spec = ScenarioSweepSpec(scenario);
+
+  std::cout << ScenarioLabel(scenario) << "\n";
+  std::printf(
+      "lambda=%g mu=%g L=%g n=%llu W=%g bT=%llu k=%llu f=%u g=%u; sweeping "
+      "%s in [%g, %g]\n",
+      p.lambda, p.mu, p.L, static_cast<unsigned long long>(p.n), p.W,
+      static_cast<unsigned long long>(p.bT),
+      static_cast<unsigned long long>(p.k), p.f, p.g,
+      spec.sweeps_sleep ? "s" : "mu", spec.lo, spec.hi);
+  if (options.simulate) {
+    std::printf(
+        "simulation: %llu units, hotspot %llu, %llu+%llu intervals, seed "
+        "%llu\n\n",
+        static_cast<unsigned long long>(options.num_units),
+        static_cast<unsigned long long>(options.hotspot_size),
+        static_cast<unsigned long long>(options.warmup_intervals),
+        static_cast<unsigned long long>(options.measure_intervals),
+        static_cast<unsigned long long>(options.seed));
+  } else {
+    std::printf("analytic model only (--no-sim)\n\n");
+  }
+
+  const StatusOr<SweepResult> result =
+      RunScenarioSweep(scenario, strategies, options);
+  if (!result.ok()) {
+    std::cerr << "sweep failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+  PrintSweepTables(*result, std::cout);
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    if (!csv) {
+      std::cerr << "cannot open " << csv_path << "\n";
+      return 1;
+    }
+    WriteSweepCsv(*result, csv);
+    std::cout << "CSV written to " << csv_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace mobicache

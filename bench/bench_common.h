@@ -1,0 +1,32 @@
+// Shared driver for the figure-reproduction benches: argument parsing and
+// the run-sweep-and-print-tables pipeline.
+
+#ifndef MOBICACHE_BENCH_BENCH_COMMON_H_
+#define MOBICACHE_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/scenarios.h"
+#include "core/strategy.h"
+#include "exp/sweep.h"
+
+namespace mobicache {
+
+/// Parses --points=N --measure=N --warmup=N --units=N --hotspot=N --seed=N
+/// --no-sim --csv=PATH over the given defaults. Unknown flags abort with a
+/// usage message. `csv_path` (if any) is returned through the optional out
+/// parameter.
+SweepOptions ParseSweepArgs(int argc, char** argv, SweepOptions defaults,
+                            std::string* csv_path = nullptr);
+
+/// Runs one paper figure: analytic curves plus (unless --no-sim) the
+/// matching simulated series, printed as aligned tables. Returns a process
+/// exit code.
+int RunFigureBench(PaperScenario scenario,
+                   const std::vector<StrategyKind>& strategies, int argc,
+                   char** argv, SweepOptions defaults);
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_BENCH_BENCH_COMMON_H_

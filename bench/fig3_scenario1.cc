@@ -1,0 +1,18 @@
+// Reproduces Figure 3 (Scenario 1): effectiveness vs. sleep probability s
+// under infrequent updates on a small database / narrow channel.
+// Expected shape (paper): SIG best across the whole range, TS intermediate,
+// AT decaying rapidly with s, no-caching pinned near zero.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mobicache;
+  SweepOptions defaults;
+  defaults.points = 11;
+  defaults.warmup_intervals = 50;
+  defaults.measure_intervals = 1500;
+  return RunFigureBench(PaperScenario::kScenario1,
+                        {StrategyKind::kTs, StrategyKind::kAt,
+                         StrategyKind::kSig, StrategyKind::kNoCache},
+                        argc, argv, defaults);
+}

@@ -1,0 +1,19 @@
+// Reproduces Figure 4 (Scenario 2): effectiveness vs. s with a 1M-item
+// database and a 1 Mb/s channel; TS stays competitive only because the
+// window shrinks to k = 10.
+// Expected shape (paper): same ordering as Figure 3.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mobicache;
+  SweepOptions defaults;
+  defaults.points = 6;
+  defaults.warmup_intervals = 30;
+  defaults.measure_intervals = 150;
+  defaults.num_units = 10;
+  return RunFigureBench(PaperScenario::kScenario2,
+                        {StrategyKind::kTs, StrategyKind::kAt,
+                         StrategyKind::kSig, StrategyKind::kNoCache},
+                        argc, argv, defaults);
+}

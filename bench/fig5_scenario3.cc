@@ -1,0 +1,18 @@
+// Reproduces Figure 5 (Scenario 3): update-intensive workload (mu = lambda).
+// TS is unusable (its report exceeds the interval capacity and is reported
+// as infeasible). Expected shape (paper): AT dominates SIG; no-caching
+// overtakes caching near s ~ 0.8.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mobicache;
+  SweepOptions defaults;
+  defaults.points = 11;
+  defaults.warmup_intervals = 50;
+  defaults.measure_intervals = 300;
+  return RunFigureBench(PaperScenario::kScenario3,
+                        {StrategyKind::kTs, StrategyKind::kAt,
+                         StrategyKind::kSig, StrategyKind::kNoCache},
+                        argc, argv, defaults);
+}

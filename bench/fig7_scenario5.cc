@@ -1,0 +1,17 @@
+// Reproduces Figure 7 (Scenario 5): workaholics (s = 0) with the update rate
+// mu swept in [1e-4, 2e-4]. Expected shape (paper): AT best across the
+// range, SIG marginally below it, TS degrading rapidly as mu grows.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mobicache;
+  SweepOptions defaults;
+  defaults.points = 11;
+  defaults.warmup_intervals = 50;
+  defaults.measure_intervals = 1500;
+  return RunFigureBench(PaperScenario::kScenario5,
+                        {StrategyKind::kTs, StrategyKind::kAt,
+                         StrategyKind::kSig},
+                        argc, argv, defaults);
+}

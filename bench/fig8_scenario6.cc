@@ -1,0 +1,18 @@
+// Reproduces Figure 8 (Scenario 6): workaholics on the 1M-item database.
+// Expected shape (paper): AT and SIG practically indistinguishable, TS
+// degrading rapidly with the update rate.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mobicache;
+  SweepOptions defaults;
+  defaults.points = 6;
+  defaults.warmup_intervals = 30;
+  defaults.measure_intervals = 150;
+  defaults.num_units = 10;
+  return RunFigureBench(PaperScenario::kScenario6,
+                        {StrategyKind::kTs, StrategyKind::kAt,
+                         StrategyKind::kSig},
+                        argc, argv, defaults);
+}

@@ -1,0 +1,167 @@
+// Google-benchmark micro-benchmarks for the hot paths: signature
+// computation and maintenance, report building and client application, and
+// the client cache. Run with --benchmark_filter=... as usual.
+
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/at.h"
+#include "core/cache.h"
+#include "core/sig_strategy.h"
+#include "core/ts.h"
+#include "db/database.h"
+#include "sig/signature.h"
+#include "util/random.h"
+
+namespace mobicache {
+namespace {
+
+void BM_ItemSignature(benchmark::State& state) {
+  SignatureParams params;
+  params.m = 1000;
+  params.f = 10;
+  params.g = 16;
+  SignatureFamily family(1000, params, 1);
+  uint64_t v = 0x1234;
+  for (auto _ : state) {
+    v = family.ItemSignature(v);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ItemSignature);
+
+void BM_SubsetsOf(benchmark::State& state) {
+  SignatureParams params;
+  params.m = static_cast<uint32_t>(state.range(0));
+  params.f = 10;
+  params.g = 16;
+  SignatureFamily family(1u << 20, params, 1);
+  ItemId id = 0;
+  for (auto _ : state) {
+    auto subsets = family.SubsetsOf(id++);
+    benchmark::DoNotOptimize(subsets);
+  }
+}
+BENCHMARK(BM_SubsetsOf)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ServerSignatureFold(benchmark::State& state) {
+  Database db(100000, 1);
+  SignatureParams params;
+  params.m = 2000;
+  params.f = 10;
+  params.g = 16;
+  SignatureFamily family(100000, params, 1);
+  ServerSignatureState server(&family, &db);
+  double t = 1.0;
+  ItemId id = 0;
+  for (auto _ : state) {
+    db.ApplyUpdate(id, t);
+    server.OnItemChanged(id);
+    id = (id + 7919) % 100000;
+    t += 0.001;
+  }
+}
+BENCHMARK(BM_ServerSignatureFold);
+
+void BM_SigDiagnose(benchmark::State& state) {
+  Database db(10000, 1);
+  SignatureParams params;
+  params.m = 2000;
+  params.f = 10;
+  params.g = 16;
+  SignatureFamily family(10000, params, 1);
+  ServerSignatureState server(&family, &db);
+  std::vector<ItemId> interest;
+  for (ItemId i = 0; i < 50; ++i) interest.push_back(i);
+  ClientSignatureView view(&family, interest);
+  view.DiagnoseAndAdopt(server.Combined(), interest);
+  double t = 1.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 10; ++i) {
+      const ItemId id = static_cast<ItemId>(100 + (i * 31) % 9000);
+      db.ApplyUpdate(id, t);
+      server.OnItemChanged(id);
+      t += 0.01;
+    }
+    state.ResumeTiming();
+    auto invalid = view.DiagnoseAndAdopt(server.Combined(), interest);
+    benchmark::DoNotOptimize(invalid);
+  }
+}
+BENCHMARK(BM_SigDiagnose);
+
+void BM_TsBuildReport(benchmark::State& state) {
+  const uint64_t updates = static_cast<uint64_t>(state.range(0));
+  Database db(1u << 20, 1);
+  TsServerStrategy server(&db, 10.0, 10);
+  Rng rng(2);
+  double t = 0.0;
+  for (uint64_t i = 0; i < updates; ++i) {
+    t += 100.0 / static_cast<double>(updates);
+    db.ApplyUpdate(static_cast<ItemId>(rng.NextUint64(1u << 20)), t);
+  }
+  uint64_t interval = 10;
+  for (auto _ : state) {
+    Report report = server.BuildReport(100.0, interval);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(updates));
+}
+BENCHMARK(BM_TsBuildReport)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_AtClientApplyReport(benchmark::State& state) {
+  const size_t cached = static_cast<size_t>(state.range(0));
+  AtReport report;
+  report.interval = 1;
+  report.timestamp = 10.0;
+  for (ItemId i = 0; i < 64; ++i) report.ids.push_back(i * 17);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ClientCache cache;
+    AtClientManager manager;
+    AtReport r0;
+    r0.interval = 0;
+    r0.timestamp = 0.0;
+    manager.OnReport(Report(r0), &cache);
+    for (ItemId i = 0; i < cached; ++i) cache.Put(i, i, 1.0);
+    state.ResumeTiming();
+    manager.OnReport(Report(report), &cache);
+    benchmark::DoNotOptimize(cache);
+  }
+}
+BENCHMARK(BM_AtClientApplyReport)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_CachePutGet(benchmark::State& state) {
+  ClientCache cache(1024);
+  Rng rng(3);
+  for (auto _ : state) {
+    const ItemId id = static_cast<ItemId>(rng.NextUint64(4096));
+    cache.Put(id, id, 1.0);
+    benchmark::DoNotOptimize(cache.Get(id));
+  }
+}
+BENCHMARK(BM_CachePutGet);
+
+void BM_DatabaseUpdatedIn(benchmark::State& state) {
+  Database db(1u << 16, 1);
+  Rng rng(4);
+  double t = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    t += 0.001;
+    db.ApplyUpdate(static_cast<ItemId>(rng.NextUint64(1u << 16)), t);
+  }
+  for (auto _ : state) {
+    auto items = db.UpdatedIn(t - 10.0, t);
+    benchmark::DoNotOptimize(items);
+  }
+}
+BENCHMARK(BM_DatabaseUpdatedIn);
+
+}  // namespace
+}  // namespace mobicache
+
+BENCHMARK_MAIN();

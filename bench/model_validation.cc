@@ -1,0 +1,145 @@
+// §4 model validation: runs the discrete-event simulator against the
+// analytical model on a Scenario-1-shaped cell across strategies and sleep
+// probabilities, with several seeds per point to put confidence intervals
+// on the measured hit ratio and report size. Also probes model robustness
+// by swapping the paper's per-interval Bernoulli sleep process for a
+// renewal on/off process with the same effective sleep probability.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/model.h"
+#include "exp/cell.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace mobicache {
+namespace {
+
+struct Measured {
+  OnlineStats hit;
+  OnlineStats bc;
+};
+
+Measured RunSeeds(const CellConfig& base, int seeds, uint64_t warmup,
+                  uint64_t measure) {
+  Measured out;
+  for (int i = 0; i < seeds; ++i) {
+    CellConfig config = base;
+    config.seed = base.seed + 7919ULL * static_cast<uint64_t>(i + 1);
+    Cell cell(config);
+    if (!cell.Build().ok() || !cell.Run(warmup, measure).ok()) {
+      std::fprintf(stderr, "cell failed\n");
+      std::exit(1);
+    }
+    const CellResult r = cell.result();
+    out.hit.Add(r.hit_ratio);
+    out.bc.Add(r.avg_report_bits);
+  }
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  int seeds = 5;
+  uint64_t measure = 400;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seeds=", 0) == 0) seeds = std::stoi(arg.substr(8));
+    if (arg.rfind("--measure=", 0) == 0) measure = std::stoull(arg.substr(10));
+  }
+
+  ModelParams params;  // Scenario-1 shaped
+  params.k = 10;
+
+  std::cout << "Model validation: analytic h/Bc vs simulation "
+               "(Scenario-1 shape, k = 10, " << seeds << " seeds, +- is a "
+               "95% CI)\n\n";
+
+  TablePrinter table({"strategy", "s", "h.model", "h.sim", "+-", "Bc.model",
+                      "Bc.sim", "+-", "e.model", "e.sim"});
+  for (StrategyKind kind :
+       {StrategyKind::kTs, StrategyKind::kAt, StrategyKind::kSig}) {
+    for (double s : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+      ModelParams p = params;
+      p.s = s;
+      StrategyEval model;
+      switch (kind) {
+        case StrategyKind::kTs:
+          model = EvalTs(p);
+          break;
+        case StrategyKind::kAt:
+          model = EvalAt(p);
+          break;
+        default:
+          model = EvalSig(p);
+          break;
+      }
+      CellConfig config;
+      config.model = p;
+      config.strategy = kind;
+      config.num_units = 20;
+      config.hotspot_size = 20;
+      config.seed = 101;
+      const Measured m = RunSeeds(config, seeds, 50, measure);
+      const StrategyEval sim_eval =
+          EvalFromMeasurements(p, m.hit.mean(), m.bc.mean());
+      table.AddRow({std::string(StrategyName(kind)), TablePrinter::Num(s, 2),
+                    TablePrinter::Num(model.hit_ratio),
+                    TablePrinter::Num(m.hit.mean()),
+                    TablePrinter::Num(m.hit.ConfidenceHalfWidth(), 2),
+                    TablePrinter::Num(model.report_bits),
+                    TablePrinter::Num(m.bc.mean()),
+                    TablePrinter::Num(m.bc.ConfidenceHalfWidth(), 2),
+                    TablePrinter::Num(model.effectiveness),
+                    TablePrinter::Num(sim_eval.effectiveness)});
+    }
+  }
+  table.RenderText(std::cout);
+
+  std::cout << "\nSleep-process robustness: Bernoulli(s) vs renewal on/off "
+               "at matched effective s (AT strategy)\n\n";
+  TablePrinter rob({"mean_awake(s)", "mean_sleep(s)", "effective s",
+                    "h.model", "h.bernoulli", "h.renewal"});
+  for (const auto& [awake, sleep] : std::vector<std::pair<double, double>>{
+           {200.0, 20.0}, {100.0, 50.0}, {50.0, 50.0}, {30.0, 90.0}}) {
+    CellConfig renewal_config;
+    renewal_config.model = params;
+    renewal_config.strategy = StrategyKind::kAt;
+    renewal_config.num_units = 20;
+    renewal_config.hotspot_size = 20;
+    renewal_config.renewal_sleep = true;
+    renewal_config.mean_awake_seconds = awake;
+    renewal_config.mean_sleep_seconds = sleep;
+    renewal_config.seed = 33;
+
+    // Matched-s Bernoulli cell.
+    RenewalSleepModel probe(params.L, awake, sleep, 1);
+    const double eff_s = probe.EffectiveSleepProbability();
+    CellConfig bern_config = renewal_config;
+    bern_config.renewal_sleep = false;
+    bern_config.model.s = eff_s;
+
+    const Measured renewal = RunSeeds(renewal_config, seeds, 50, measure);
+    const Measured bern = RunSeeds(bern_config, seeds, 50, measure);
+    ModelParams p = params;
+    p.s = eff_s;
+    rob.AddRow({TablePrinter::Num(awake, 3), TablePrinter::Num(sleep, 3),
+                TablePrinter::Num(eff_s),
+                TablePrinter::Num(AtHitRatio(p)),
+                TablePrinter::Num(bern.hit.mean()),
+                TablePrinter::Num(renewal.hit.mean())});
+  }
+  rob.RenderText(std::cout);
+  std::cout << "\nNote: renewal sleep is burstier than Bernoulli at equal "
+               "effective s\n(awake runs cluster), which is why AT, whose "
+               "cache dies on any missed\nreport, does noticeably better "
+               "under it.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace mobicache
+
+int main(int argc, char** argv) { return mobicache::Run(argc, argv); }

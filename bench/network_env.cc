@@ -1,0 +1,97 @@
+// §9 study — report delivery across network environments. The invalidation
+// report concept is orthogonal to the network; what changes is addressing
+// and timing:
+//
+//  * ideal     — reservation MAC (PRMA/MACAW): exact timing; clients need
+//                clock sync but only listen for the report itself.
+//  * multicast — CSMA/CDPD with a multicast report address: contention
+//                jitter delays delivery, but doze-mode address filtering
+//                means clients still only pay for the report airtime.
+//  * csma      — contention jitter without address filtering: clients must
+//                listen from T_i until the report arrives.
+//
+// Metrics: client listen energy (seconds per heard report), query latency,
+// and hit ratio (which must be invariant — delivery timing does not change
+// report *content*).
+
+#include <iostream>
+
+#include "exp/cell.h"
+#include "net/delivery.h"
+#include "net/energy.h"
+#include "util/table.h"
+
+namespace mobicache {
+namespace {
+
+int Run() {
+  std::cout << "Report delivery substrates (S9) on the Scenario-1 workload "
+               "(s = 0.3)\n\n";
+  TablePrinter table({"delivery", "mean jitter(s)", "needs clock sync",
+                      "listen s/report", "mean latency(s)", "hit ratio",
+                      "radio J/unit/hour"});
+
+  struct Case {
+    DeliveryModelKind kind;
+    double jitter;
+  };
+  const Case cases[] = {
+      {DeliveryModelKind::kIdealPeriodic, 0.0},
+      {DeliveryModelKind::kMulticast, 0.5},
+      {DeliveryModelKind::kMulticast, 2.0},
+      {DeliveryModelKind::kCsmaJitter, 0.5},
+      {DeliveryModelKind::kCsmaJitter, 2.0},
+  };
+
+  for (const Case& c : cases) {
+    CellConfig config;
+    config.model.s = 0.3;
+    config.model.k = 10;
+    config.strategy = StrategyKind::kTs;
+    config.num_units = 20;
+    config.hotspot_size = 20;
+    config.delivery = c.kind;
+    config.mean_jitter_seconds = c.jitter;
+    config.seed = 91;
+    Cell cell(config);
+    if (!cell.Build().ok() || !cell.Run(50, 400).ok()) {
+      std::cerr << "cell failed\n";
+      return 1;
+    }
+    const CellResult r = cell.result();
+    const double listen_per_report =
+        r.reports_heard == 0
+            ? 0.0
+            : r.listen_seconds_total / static_cast<double>(r.reports_heard);
+    DeliveryModel probe(c.kind, c.jitter, 1);
+    // Radio energy per unit-hour: listening + uplink transmissions, with
+    // awake-idle and doze time split from the sleep statistics.
+    const double span =
+        400.0 * config.model.L * static_cast<double>(config.num_units);
+    const double awake = static_cast<double>(r.reports_heard) *
+                         config.model.L;  // heard == awake intervals
+    const double tx_seconds =
+        static_cast<double>(r.channel.uplink_query_bits) / config.model.W;
+    const EnergyBreakdown energy = ComputeClientEnergy(
+        EnergyModel{}, r.listen_seconds_total, tx_seconds, awake, span);
+    const double joules_per_unit_hour =
+        energy.total_joules() / span * 3600.0;
+    table.AddRow({DeliveryModelName(c.kind), TablePrinter::Num(c.jitter, 3),
+                  probe.RequiresTimeSync() ? "yes" : "no",
+                  TablePrinter::Num(listen_per_report, 4),
+                  TablePrinter::Num(r.mean_answer_latency, 4),
+                  TablePrinter::Num(r.hit_ratio),
+                  TablePrinter::Num(joules_per_unit_hour, 4)});
+  }
+  table.RenderText(std::cout);
+  std::cout << "\nMulticast addressing keeps listen energy at the ideal "
+               "level without clock\nsynchronization — jitter only shows up "
+               "as answer latency. Raw CSMA pays the\njitter as awake-"
+               "listening energy on every report.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace mobicache
+
+int main() { return mobicache::Run(); }

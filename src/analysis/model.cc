@@ -1,0 +1,184 @@
+#include "analysis/model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sig/signature.h"
+#include "util/bits.h"
+
+namespace mobicache {
+
+namespace {
+
+/// Effective id size used by the report-size formulas: ceil(log2 n), unless
+/// overridden (see ModelParams::id_bits_override).
+double IdBits(const ModelParams& p) {
+  return static_cast<double>(p.id_bits_override != 0 ? p.id_bits_override
+                                                     : BitsForIds(p.n));
+}
+
+StrategyEval Finish(const ModelParams& p, double hit, double bc) {
+  StrategyEval eval;
+  eval.hit_ratio = hit;
+  eval.report_bits = bc;
+  const double capacity = p.L * p.W;
+  if (bc >= capacity) {
+    eval.feasible = false;
+    eval.throughput = 0.0;
+    eval.effectiveness = 0.0;
+    return eval;
+  }
+  const double per_query = static_cast<double>(p.bq + p.ba) * (1.0 - hit);
+  eval.throughput = (capacity - bc) / per_query;
+  const double tmax = MaxThroughput(p);
+  eval.effectiveness = tmax > 0.0 ? eval.throughput / tmax : 0.0;
+  return eval;
+}
+
+}  // namespace
+
+IntervalProbabilities ComputeIntervalProbabilities(const ModelParams& p) {
+  IntervalProbabilities out;
+  out.q0 = (1.0 - p.s) * std::exp(-p.lambda * p.L);  // Eq. 4
+  out.p0 = p.s + out.q0;                             // Eq. 5
+  out.u0 = std::exp(-p.mu * p.L);                    // Eq. 7
+  return out;
+}
+
+double MaximalHitRatio(const ModelParams& p) {
+  return p.lambda / (p.lambda + p.mu);  // Eq. 13
+}
+
+double MaxThroughput(const ModelParams& p) {
+  // Eq. 11 with Bc = 0.
+  const double mhr = MaximalHitRatio(p);
+  return p.L * p.W / (static_cast<double>(p.bq + p.ba) * (1.0 - mhr));
+}
+
+double NoCacheThroughput(const ModelParams& p) {
+  return p.L * p.W / static_cast<double>(p.bq + p.ba);  // Eq. 14
+}
+
+double AtHitRatio(const ModelParams& p) {
+  const IntervalProbabilities pr = ComputeIntervalProbabilities(p);
+  // Eq. 20/41: (1 - p0) u0 / (1 - q0 u0).
+  return (1.0 - pr.p0) * pr.u0 / (1.0 - pr.q0 * pr.u0);
+}
+
+TsHitBounds TsHitRatioBounds(const ModelParams& p) {
+  const IntervalProbabilities pr = ComputeIntervalProbabilities(p);
+  const double q0 = pr.q0, p0 = pr.p0, u0 = pr.u0;
+  const double k = static_cast<double>(p.k);
+  const double sk = std::pow(p.s, k);
+  const double u0k1 = std::pow(u0, k + 1.0);
+  const double u0k2 = std::pow(u0, k + 2.0);
+
+  // Base series A = sum_{i>=1} (1-p0) p0^{i-1} u0^i (all-gaps hit mass).
+  const double a = (1.0 - p0) * u0 / (1.0 - p0 * u0);
+
+  TsHitBounds bounds;
+  // Lower bound (Eq. 34-36): subtract the sleep-streak upper bound
+  // P_ki <= s^k p0^{i-1-k} + (i-1-k) q0 s^k p0^{i-2-k}, summed over i > k:
+  //   B = (1-p0) s^k u0^{k+1} / (1 - p0 u0)
+  //   C = (1-p0) q0 s^k u0^{k+2} / (1 - p0 u0)^2
+  const double b =
+      (1.0 - p0) * sk * u0k1 / (1.0 - p0 * u0);
+  const double c = (1.0 - p0) * q0 * sk * u0k2 /
+                   ((1.0 - p0 * u0) * (1.0 - p0 * u0));
+  bounds.lower = std::max(0.0, a - b - c);
+
+  // Upper bound (Eq. 37-39): subtract the streak lower bound
+  // P_ki >= (i-1-k) s^k q0^{i-1-k}, summed over i > k:
+  //   D = (1-p0) s^k q0 u0^{k+2} / (1 - q0 u0)^2
+  const double d = (1.0 - p0) * sk * q0 * u0k2 /
+                   ((1.0 - q0 * u0) * (1.0 - q0 * u0));
+  bounds.upper = std::min(1.0, a - d);
+  bounds.upper = std::max(bounds.upper, bounds.lower);
+  return bounds;
+}
+
+uint32_t SigSignatureCount(const ModelParams& p) {
+  return PaperRequiredSignatures(p.n, p.f, p.sig_delta);
+}
+
+double SigNoFalseAlarmProbability(const ModelParams& p) {
+  const uint32_t m = SigSignatureCount(p);
+  return 1.0 - FalseAlarmProbabilityBound(m, p.f, p.g, p.sig_k_threshold);
+}
+
+double SigHitRatio(const ModelParams& p) {
+  const IntervalProbabilities pr = ComputeIntervalProbabilities(p);
+  // Eq. 26/43: (1 - p0) u0 p_nf / (1 - p0 u0).
+  return (1.0 - pr.p0) * pr.u0 * SigNoFalseAlarmProbability(p) /
+         (1.0 - pr.p0 * pr.u0);
+}
+
+double TsReportBits(const ModelParams& p) {
+  const double w = static_cast<double>(p.k) * p.L;
+  const double nc =
+      static_cast<double>(p.n) * (1.0 - std::exp(-p.mu * w));  // Eq. 15
+  return nc * (IdBits(p) + static_cast<double>(p.bT));
+}
+
+double AtReportBits(const ModelParams& p) {
+  const double nl =
+      static_cast<double>(p.n) * (1.0 - std::exp(-p.mu * p.L));  // Eq. 18
+  return nl * IdBits(p);
+}
+
+double SigReportBits(const ModelParams& p) {
+  return static_cast<double>(SigSignatureCount(p)) *
+         static_cast<double>(p.g);
+}
+
+StrategyEval EvalTs(const ModelParams& p) {
+  return Finish(p, TsHitRatioBounds(p).mid(), TsReportBits(p));
+}
+
+StrategyEval EvalAt(const ModelParams& p) {
+  return Finish(p, AtHitRatio(p), AtReportBits(p));
+}
+
+StrategyEval EvalSig(const ModelParams& p) {
+  return Finish(p, SigHitRatio(p), SigReportBits(p));
+}
+
+StrategyEval EvalNoCache(const ModelParams& p) {
+  return Finish(p, 0.0, 0.0);
+}
+
+StrategyEval EvalGroupedAt(const ModelParams& p, uint32_t num_groups) {
+  assert(num_groups >= 1 && num_groups <= p.n);
+  const double block =
+      std::ceil(static_cast<double>(p.n) / static_cast<double>(num_groups));
+  const IntervalProbabilities pr = ComputeIntervalProbabilities(p);
+  // An item's copy survives the interval iff its whole block is untouched.
+  const double u0_block = std::exp(-p.mu * p.L * block);
+  const double hit =
+      (1.0 - pr.p0) * u0_block / (1.0 - pr.q0 * u0_block);
+  const double changed_groups =
+      static_cast<double>(num_groups) * (1.0 - u0_block);
+  const double bc =
+      changed_groups * static_cast<double>(BitsForIds(num_groups));
+  return Finish(p, hit, bc);
+}
+
+StrategyEval EvalFromMeasurements(const ModelParams& p, double hit_ratio,
+                                  double report_bits) {
+  return Finish(p, hit_ratio, report_bits);
+}
+
+double ExpectedAnswerLatency(const ModelParams& p, double report_bits) {
+  assert(p.lambda > 0.0);
+  assert(p.s < 1.0);
+  const double u = std::exp(-p.lambda * p.L);
+  // First arrival of a conditioned (>= 1 arrival) Poisson process on [0, L].
+  const double first = 1.0 / p.lambda - p.L * u / (1.0 - u);
+  const double wait_in_interval = p.L - first;
+  const double sleep_extension = p.L * p.s / (1.0 - p.s);
+  const double airtime = report_bits / p.W;
+  return wait_in_interval + sleep_extension + airtime;
+}
+
+}  // namespace mobicache

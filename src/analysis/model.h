@@ -1,0 +1,131 @@
+// Closed-form analytical model of §4-§5. All quantities follow the paper's
+// notation:
+//
+//   q0   = (1-s) e^{-lambda L}          P[awake and no queries]     (Eq. 4)
+//   p0   = s + q0                       P[no queries]               (Eq. 5)
+//   u0   = e^{-mu L}                    P[no updates in an interval](Eq. 7)
+//   MHR  = lambda / (lambda + mu)       maximal hit ratio           (Eq. 13)
+//   T    = (L W - Bc) / ((bq+ba)(1-h))  throughput                  (Eq. 9)
+//   e    = T / Tmax                     effectiveness               (Eq. 10)
+//
+// Hit ratios: h_AT (Eq. 20/41), h_SIG (Eq. 26/43), and the TS bounds of
+// Appendix 1 (Eq. 33-39). The TS bound series were re-derived from Eq. 34/38
+// because the journal scan of the source is garbled at the final closed
+// forms; the re-derivations match the printed leading terms and satisfy
+// lower <= upper everywhere (asserted in tests).
+
+#ifndef MOBICACHE_ANALYSIS_MODEL_H_
+#define MOBICACHE_ANALYSIS_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mobicache {
+
+/// Model inputs (one cell, homogeneous MUs). Defaults match Scenario 1.
+struct ModelParams {
+  double lambda = 0.1;   ///< Query rate per hot-spot item (1/s).
+  double mu = 1e-4;      ///< Update rate per item (1/s).
+  double L = 10.0;       ///< Broadcast latency (s).
+  double s = 0.0;        ///< Per-interval sleep probability.
+  uint64_t n = 1000;     ///< Database size.
+  double W = 10000.0;    ///< Channel bandwidth (bits/s).
+  uint64_t bT = 512;     ///< Timestamp bits.
+  uint64_t bq = 128;     ///< Uplink query bits.
+  uint64_t ba = 1024;    ///< Downlink answer bits.
+  uint64_t k = 100;      ///< TS window in intervals (w = k L).
+  uint32_t f = 10;       ///< SIG: differences diagnosed.
+  uint32_t g = 16;       ///< SIG: signature bits.
+  double sig_delta = 0.05;    ///< SIG: sizing failure budget delta (Eq. 24).
+  double sig_k_threshold = 2.0;  ///< SIG: K in the Chernoff bound (Eq. 22).
+  /// Item-identifier width in bits; 0 = physically exact ceil(log2 n). The
+  /// paper's report-size formulas say "log(n)" without a base, and its
+  /// Scenario-4 AT curve is only attainable if that is the *natural* log
+  /// (~13.8 bits for n = 10^6) — set this to reproduce that reading.
+  uint64_t id_bits_override = 0;
+};
+
+/// Primitive per-interval probabilities (Eq. 3-8).
+struct IntervalProbabilities {
+  double q0 = 0.0;  ///< Awake and no queries.
+  double p0 = 0.0;  ///< No queries (asleep, or awake without queries).
+  double u0 = 0.0;  ///< No updates.
+};
+
+IntervalProbabilities ComputeIntervalProbabilities(const ModelParams& p);
+
+/// Maximal hit ratio lambda / (lambda + mu) (Eq. 13).
+double MaximalHitRatio(const ModelParams& p);
+
+/// Throughput of the unattainable instant-invalidation strategy (Eq. 11).
+double MaxThroughput(const ModelParams& p);
+
+/// Throughput without caching (Eq. 14).
+double NoCacheThroughput(const ModelParams& p);
+
+/// AT hit ratio (Eq. 20 / Eq. 41).
+double AtHitRatio(const ModelParams& p);
+
+/// TS hit-ratio bounds (Appendix 1). lower <= h_TS <= upper.
+struct TsHitBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+  double mid() const { return 0.5 * (lower + upper); }
+};
+TsHitBounds TsHitRatioBounds(const ModelParams& p);
+
+/// SIG: number of combined signatures per Eq. 24 (paper sizing, K = 2).
+uint32_t SigSignatureCount(const ModelParams& p);
+
+/// SIG: probability that a valid item is NOT falsely diagnosed, p_nf = 1 -
+/// p_f with p_f from Eq. 22, using the Eq. 24 signature count.
+double SigNoFalseAlarmProbability(const ModelParams& p);
+
+/// SIG hit ratio (Eq. 26 / Eq. 43).
+double SigHitRatio(const ModelParams& p);
+
+/// Report sizes in bits.
+double TsReportBits(const ModelParams& p);   ///< nc (log n + bT), Eq. 15-16.
+double AtReportBits(const ModelParams& p);   ///< nL log n, Eq. 18-19.
+double SigReportBits(const ModelParams& p);  ///< m g, Eq. 25.
+
+/// Full evaluation of one strategy at the given parameters.
+struct StrategyEval {
+  double hit_ratio = 0.0;
+  double report_bits = 0.0;   ///< Bc per interval.
+  double throughput = 0.0;    ///< Queries per interval (Eq. 9).
+  double effectiveness = 0.0; ///< T / Tmax (Eq. 10).
+  /// False when the report does not fit in an interval (Bc >= L W), the
+  /// situation that rules TS out of Scenarios 3-4.
+  bool feasible = true;
+};
+
+StrategyEval EvalTs(const ModelParams& p);
+StrategyEval EvalAt(const ModelParams& p);
+StrategyEval EvalSig(const ModelParams& p);
+StrategyEval EvalNoCache(const ModelParams& p);
+
+/// Compressed AT over `num_groups` contiguous blocks (extension): an item
+/// survives an interval only if *no member of its block* changed, so the AT
+/// hit formula applies with u0 -> e^{-mu L B}, B = ceil(n / G); the report
+/// costs ceil(log2 G) bits per changed block.
+StrategyEval EvalGroupedAt(const ModelParams& p, uint32_t num_groups);
+
+/// Throughput/effectiveness for an externally supplied (h, Bc) pair — used
+/// to push *measured* simulator statistics through the Eq. 9/10 pipeline so
+/// analytic and simulated series are directly comparable.
+StrategyEval EvalFromMeasurements(const ModelParams& p, double hit_ratio,
+                                  double report_bits);
+
+/// Expected answer latency of the synchronous strategies (an extension —
+/// the paper only notes that waiting for the report "adds some latency"):
+/// a query batch waits from its first arrival to the interval end
+///   L - E[first arrival | >= 1 arrival] = L - (1/lambda - L u/(1-u)),
+///   u = e^{-lambda L},
+/// then for the first *heard* report: each missed one costs another L with
+/// probability s, adding L s/(1-s), plus the report's own airtime Bc/W.
+double ExpectedAnswerLatency(const ModelParams& p, double report_bits);
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_ANALYSIS_MODEL_H_

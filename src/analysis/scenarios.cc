@@ -1,0 +1,93 @@
+#include "analysis/scenarios.h"
+
+namespace mobicache {
+
+ModelParams ScenarioParams(PaperScenario scenario) {
+  // Common to all six scenarios.
+  ModelParams p;
+  p.lambda = 0.1;
+  p.L = 10.0;
+  p.bT = 512;
+  p.g = 16;
+  switch (scenario) {
+    case PaperScenario::kScenario1:
+      p.mu = 1e-4;
+      p.n = 1000;
+      p.W = 1e4;
+      p.k = 100;
+      p.f = 10;
+      break;
+    case PaperScenario::kScenario2:
+      p.mu = 1e-4;
+      p.n = 1000000;
+      p.W = 1e6;
+      p.k = 10;
+      p.f = 10;
+      break;
+    case PaperScenario::kScenario3:
+      p.mu = 0.1;
+      p.n = 1000;
+      p.W = 1e4;
+      p.k = 10;
+      p.f = 20;
+      break;
+    case PaperScenario::kScenario4:
+      p.mu = 0.1;
+      p.n = 1000000;
+      p.W = 1e6;
+      p.k = 10;
+      p.f = 200;
+      break;
+    case PaperScenario::kScenario5:
+      p.mu = 1e-4;
+      p.s = 0.0;
+      p.n = 1000;
+      p.W = 1e4;
+      p.k = 100;
+      p.f = 1;
+      break;
+    case PaperScenario::kScenario6:
+      p.mu = 1e-4;
+      p.s = 0.0;
+      p.n = 1000000;
+      p.W = 1e6;
+      p.k = 10;
+      p.f = 10;
+      break;
+  }
+  return p;
+}
+
+std::string_view ScenarioLabel(PaperScenario scenario) {
+  switch (scenario) {
+    case PaperScenario::kScenario1:
+      return "Scenario 1 (Fig. 3)";
+    case PaperScenario::kScenario2:
+      return "Scenario 2 (Fig. 4)";
+    case PaperScenario::kScenario3:
+      return "Scenario 3 (Fig. 5)";
+    case PaperScenario::kScenario4:
+      return "Scenario 4 (Fig. 6)";
+    case PaperScenario::kScenario5:
+      return "Scenario 5 (Fig. 7)";
+    case PaperScenario::kScenario6:
+      return "Scenario 6 (Fig. 8)";
+  }
+  return "unknown scenario";
+}
+
+ScenarioSweep ScenarioSweepSpec(PaperScenario scenario) {
+  switch (scenario) {
+    case PaperScenario::kScenario1:
+    case PaperScenario::kScenario2:
+    case PaperScenario::kScenario3:
+    case PaperScenario::kScenario4:
+      return ScenarioSweep{true, 0.0, 1.0};
+    case PaperScenario::kScenario5:
+    case PaperScenario::kScenario6:
+      return ScenarioSweep{false, 1e-4, 2e-4};
+  }
+  return ScenarioSweep{};
+}
+
+}  // namespace mobicache

@@ -1,0 +1,39 @@
+// Parameter presets for the six evaluation scenarios of §6 (Figures 3-8).
+// Scenarios 1-4 sweep the sleep probability s in [0, 1]; Scenarios 5-6 fix
+// s = 0 (workaholics) and sweep the update rate mu in [1e-4, 2e-4].
+
+#ifndef MOBICACHE_ANALYSIS_SCENARIOS_H_
+#define MOBICACHE_ANALYSIS_SCENARIOS_H_
+
+#include <string_view>
+
+#include "analysis/model.h"
+
+namespace mobicache {
+
+enum class PaperScenario {
+  kScenario1,  ///< Fig. 3: infrequent updates, small DB, narrow band.
+  kScenario2,  ///< Fig. 4: infrequent updates, 1M items, 1 Mb/s.
+  kScenario3,  ///< Fig. 5: update-intensive (mu = lambda), TS unusable.
+  kScenario4,  ///< Fig. 6: update-intensive, 1M items, 1 Mb/s.
+  kScenario5,  ///< Fig. 7: workaholics (s = 0), mu swept, small DB.
+  kScenario6,  ///< Fig. 8: workaholics, mu swept, 1M items.
+};
+
+/// Paper parameters for the scenario (at the start of its sweep range).
+ModelParams ScenarioParams(PaperScenario scenario);
+
+/// "Scenario 1 (Fig. 3)", ...
+std::string_view ScenarioLabel(PaperScenario scenario);
+
+/// What the scenario sweeps.
+struct ScenarioSweep {
+  bool sweeps_sleep = true;  ///< true: s in [lo, hi]; false: mu in [lo, hi].
+  double lo = 0.0;
+  double hi = 1.0;
+};
+ScenarioSweep ScenarioSweepSpec(PaperScenario scenario);
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_ANALYSIS_SCENARIOS_H_

@@ -1,0 +1,46 @@
+#include "core/at.h"
+
+#include <cassert>
+
+namespace mobicache {
+
+AtServerStrategy::AtServerStrategy(const Database* db, SimTime latency)
+    : db_(db), latency_(latency) {
+  assert(latency > 0.0);
+}
+
+Report AtServerStrategy::BuildReport(SimTime now, uint64_t interval) {
+  AtReport report;
+  report.interval = interval;
+  report.timestamp = now;
+  // U_i = { j : T_{i-1} < t_j <= T_i }  (Eq. 2)
+  for (const UpdatedItem& item : db_->UpdatedIn(now - latency_, now)) {
+    report.ids.push_back(item.id);
+  }
+  return report;
+}
+
+uint64_t AtClientManager::OnReport(const Report& report, ClientCache* cache) {
+  const auto& at = std::get<AtReport>(report);
+  uint64_t invalidated = 0;
+
+  // Drop rule: any missed report (T_i - T_l > L) loses the whole cache.
+  const bool missed_one = !heard_any_ || at.interval > last_interval_ + 1;
+  if (missed_one) {
+    invalidated = cache->size();
+    cache->Clear();
+  } else {
+    for (ItemId id : at.ids) {
+      if (cache->Erase(id)) ++invalidated;
+    }
+    for (ItemId id : cache->Items()) {
+      cache->SetTimestamp(id, at.timestamp);
+    }
+  }
+
+  heard_any_ = true;
+  last_interval_ = at.interval;
+  return invalidated;
+}
+
+}  // namespace mobicache

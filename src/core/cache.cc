@@ -1,0 +1,71 @@
+#include "core/cache.h"
+
+#include <algorithm>
+
+namespace mobicache {
+
+const CacheEntry* ClientCache::Peek(ItemId id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second.entry;
+}
+
+const CacheEntry* ClientCache::Get(ItemId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return nullptr;
+  Touch(it->second, id);
+  return &it->second.entry;
+}
+
+void ClientCache::Touch(Slot& slot, ItemId id) {
+  lru_.erase(slot.lru_pos);
+  lru_.push_front(id);
+  slot.lru_pos = lru_.begin();
+}
+
+void ClientCache::Put(ItemId id, uint64_t value, SimTime timestamp) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    it->second.entry.value = value;
+    it->second.entry.timestamp = timestamp;
+    Touch(it->second, id);
+    return;
+  }
+  if (capacity_ != 0 && entries_.size() >= capacity_) {
+    const ItemId victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++lru_evictions_;
+  }
+  lru_.push_front(id);
+  entries_.emplace(id, Slot{CacheEntry{value, timestamp}, lru_.begin()});
+}
+
+bool ClientCache::SetTimestamp(ItemId id, SimTime timestamp) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  it->second.entry.timestamp = timestamp;
+  return true;
+}
+
+bool ClientCache::Erase(ItemId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  return true;
+}
+
+void ClientCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+std::vector<ItemId> ClientCache::Items() const {
+  std::vector<ItemId> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, slot] : entries_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace mobicache

@@ -1,0 +1,81 @@
+// Client-side cache held by a mobile unit. Entries carry the validity
+// timestamp semantics of §2: an entry validated by the report broadcast at
+// T_i is stamped T_i; an entry fetched uplink is stamped with the server
+// time of the fetch. An optional capacity bound evicts in LRU order (an
+// extension; the paper's model caches the whole hot spot).
+
+#ifndef MOBICACHE_CORE_CACHE_H_
+#define MOBICACHE_CORE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.h"
+#include "sim/simulator.h"
+
+namespace mobicache {
+
+/// One cached item copy.
+struct CacheEntry {
+  uint64_t value = 0;
+  /// Time up to which this copy is known to match the server (T_i of the
+  /// last validating report, or the uplink fetch time).
+  SimTime timestamp = 0.0;
+};
+
+/// Hash cache with optional LRU capacity. Not thread-safe (each MU owns one).
+class ClientCache {
+ public:
+  /// `capacity` == 0 means unbounded.
+  explicit ClientCache(size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Looks up an entry without affecting LRU order.
+  const CacheEntry* Peek(ItemId id) const;
+
+  /// Looks up an entry and marks it most-recently-used.
+  const CacheEntry* Get(ItemId id);
+
+  /// Inserts or overwrites; may evict the LRU entry if at capacity.
+  void Put(ItemId id, uint64_t value, SimTime timestamp);
+
+  /// Bumps the validity timestamp of an existing entry (no LRU effect).
+  /// Returns false if the item is not cached.
+  bool SetTimestamp(ItemId id, SimTime timestamp);
+
+  /// Removes an entry if present; returns whether it existed.
+  bool Erase(ItemId id);
+
+  /// Drops everything.
+  void Clear();
+
+  bool Contains(ItemId id) const { return entries_.count(id) > 0; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Ids of all cached items, ascending.
+  std::vector<ItemId> Items() const;
+
+  /// Cumulative number of capacity evictions.
+  uint64_t lru_evictions() const { return lru_evictions_; }
+
+ private:
+  struct Slot {
+    CacheEntry entry;
+    std::list<ItemId>::iterator lru_pos;
+  };
+
+  void Touch(Slot& slot, ItemId id);
+
+  size_t capacity_;
+  std::unordered_map<ItemId, Slot> entries_;
+  std::list<ItemId> lru_;  // front = most recent
+  uint64_t lru_evictions_ = 0;
+};
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_CORE_CACHE_H_

@@ -1,0 +1,69 @@
+#include "core/grouped.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace mobicache {
+
+ItemGrouping::ItemGrouping(uint64_t n, uint32_t num_groups)
+    : n_(n), num_groups_(num_groups) {
+  assert(n >= 1);
+  assert(num_groups >= 1 && num_groups <= n);
+  block_ = (n + num_groups - 1) / num_groups;  // ceil(n / G)
+}
+
+GroupedAtServerStrategy::GroupedAtServerStrategy(const Database* db,
+                                                 SimTime latency,
+                                                 uint32_t num_groups)
+    : db_(db), latency_(latency), grouping_(db->size(), num_groups) {
+  assert(latency > 0.0);
+}
+
+Report GroupedAtServerStrategy::BuildReport(SimTime now, uint64_t interval) {
+  GroupedAtReport report;
+  report.interval = interval;
+  report.timestamp = now;
+  report.num_groups = grouping_.num_groups();
+  std::unordered_set<uint32_t> changed;
+  for (const UpdatedItem& item : db_->UpdatedIn(now - latency_, now)) {
+    changed.insert(grouping_.GroupOf(item.id));
+  }
+  report.groups.assign(changed.begin(), changed.end());
+  std::sort(report.groups.begin(), report.groups.end());
+  return report;
+}
+
+GroupedAtClientManager::GroupedAtClientManager(uint64_t n,
+                                               uint32_t num_groups)
+    : grouping_(n, num_groups) {}
+
+uint64_t GroupedAtClientManager::OnReport(const Report& report,
+                                          ClientCache* cache) {
+  const auto& gat = std::get<GroupedAtReport>(report);
+  assert(gat.num_groups == grouping_.num_groups());
+  uint64_t invalidated = 0;
+
+  const bool missed_one = !heard_any_ || gat.interval > last_interval_ + 1;
+  if (missed_one) {
+    invalidated = cache->size();
+    cache->Clear();
+  } else {
+    for (ItemId id : cache->Items()) {
+      if (std::binary_search(gat.groups.begin(), gat.groups.end(),
+                             grouping_.GroupOf(id))) {
+        cache->Erase(id);
+        ++invalidated;
+      }
+    }
+    for (ItemId id : cache->Items()) {
+      cache->SetTimestamp(id, gat.timestamp);
+    }
+  }
+
+  heard_any_ = true;
+  last_interval_ = gat.interval;
+  return invalidated;
+}
+
+}  // namespace mobicache

@@ -1,0 +1,108 @@
+#include "core/hybrid.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mobicache {
+
+namespace {
+
+std::vector<ItemId> ColdInterest(const std::vector<ItemId>& interest,
+                                 const std::vector<ItemId>& hot_set) {
+  std::vector<ItemId> cold;
+  for (ItemId id : interest) {
+    if (!std::binary_search(hot_set.begin(), hot_set.end(), id)) {
+      cold.push_back(id);
+    }
+  }
+  // ClientSignatureView tolerates an empty interest set (no subsets kept).
+  return cold;
+}
+
+}  // namespace
+
+HybridSigServerStrategy::HybridSigServerStrategy(
+    const Database* db, const SignatureFamily* family, SimTime latency,
+    std::vector<ItemId> hot_set)
+    : db_(db),
+      family_(family),
+      latency_(latency),
+      hot_set_(std::move(hot_set)),
+      state_(family, db, &hot_set_) {
+  assert(latency > 0.0);
+  assert(std::is_sorted(hot_set_.begin(), hot_set_.end()));
+  assert(family->n() == db->size());
+}
+
+Report HybridSigServerStrategy::BuildReport(SimTime now, uint64_t interval) {
+  HybridReport report;
+  report.interval = interval;
+  report.timestamp = now;
+  // One scan: hot changes since the previous report are listed explicitly,
+  // cold changes fold into the combined signatures.
+  for (const UpdatedItem& item : db_->UpdatedIn(last_folded_, now)) {
+    if (std::binary_search(hot_set_.begin(), hot_set_.end(), item.id)) {
+      if (item.updated_at > now - latency_) {
+        report.hot_ids.push_back(item.id);
+      }
+    } else {
+      state_.OnItemChanged(item.id);
+    }
+  }
+  last_folded_ = now;
+  std::sort(report.hot_ids.begin(), report.hot_ids.end());
+  report.combined = state_.Combined();
+  return report;
+}
+
+HybridSigClientManager::HybridSigClientManager(
+    const SignatureFamily* family, const std::vector<ItemId>& interest,
+    std::vector<ItemId> hot_set)
+    : hot_set_(std::move(hot_set)),
+      view_(family, ColdInterest(interest, hot_set_)) {
+  assert(std::is_sorted(hot_set_.begin(), hot_set_.end()));
+}
+
+bool HybridSigClientManager::IsHot(ItemId id) const {
+  return std::binary_search(hot_set_.begin(), hot_set_.end(), id);
+}
+
+uint64_t HybridSigClientManager::OnReport(const Report& report,
+                                          ClientCache* cache) {
+  const auto& hybrid = std::get<HybridReport>(report);
+  uint64_t invalidated = 0;
+
+  // Hot half: AT semantics. A missed report loses only the hot part of the
+  // cache — the cold part revalidates from signatures regardless.
+  const bool missed_one =
+      !heard_any_ || hybrid.interval > last_interval_ + 1;
+  std::vector<ItemId> cold_cached;
+  for (ItemId id : cache->Items()) {
+    if (IsHot(id)) {
+      const bool drop =
+          missed_one || std::binary_search(hybrid.hot_ids.begin(),
+                                           hybrid.hot_ids.end(), id);
+      if (drop) {
+        cache->Erase(id);
+        ++invalidated;
+      }
+    } else {
+      cold_cached.push_back(id);
+    }
+  }
+
+  // Cold half: syndrome diagnosis against the cold-only signatures.
+  for (ItemId id : view_.DiagnoseAndAdopt(hybrid.combined, cold_cached)) {
+    cache->Erase(id);
+    ++invalidated;
+  }
+
+  for (ItemId id : cache->Items()) {
+    cache->SetTimestamp(id, hybrid.timestamp);
+  }
+  heard_any_ = true;
+  last_interval_ = hybrid.interval;
+  return invalidated;
+}
+
+}  // namespace mobicache

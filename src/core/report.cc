@@ -1,0 +1,49 @@
+#include "core/report.h"
+
+#include "util/bits.h"
+
+namespace mobicache {
+
+SimTime ReportTimestamp(const Report& report) {
+  return std::visit([](const auto& r) { return r.timestamp; }, report);
+}
+
+uint64_t ReportInterval(const Report& report) {
+  return std::visit([](const auto& r) { return r.interval; }, report);
+}
+
+namespace {
+
+struct SizeVisitor {
+  const MessageSizes& sizes;
+
+  uint64_t operator()(const NullReport&) const { return 0; }
+  uint64_t operator()(const TsReport& r) const {
+    return r.entries.size() * (sizes.id_bits + sizes.bT);
+  }
+  uint64_t operator()(const AtReport& r) const {
+    return r.ids.size() * sizes.id_bits;
+  }
+  uint64_t operator()(const SigReport& r) const {
+    return r.combined.size() * sizes.sig_bits;
+  }
+  uint64_t operator()(const AdaptiveTsReport& r) const {
+    return r.entries.size() * (sizes.id_bits + sizes.bT) +
+           r.window_changes.size() * (sizes.id_bits + r.window_bits);
+  }
+  uint64_t operator()(const GroupedAtReport& r) const {
+    return r.groups.size() * BitsForIds(r.num_groups);
+  }
+  uint64_t operator()(const HybridReport& r) const {
+    return r.hot_ids.size() * sizes.id_bits +
+           r.combined.size() * sizes.sig_bits;
+  }
+};
+
+}  // namespace
+
+uint64_t ReportSizeBits(const Report& report, const MessageSizes& sizes) {
+  return std::visit(SizeVisitor{sizes}, report);
+}
+
+}  // namespace mobicache

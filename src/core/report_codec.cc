@@ -1,0 +1,382 @@
+#include "core/report_codec.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/bits.h"
+#include "util/bitstream.h"
+
+namespace mobicache {
+
+namespace {
+
+// Variant tags (3 bits).
+enum class WireTag : uint64_t {
+  kNull = 0,
+  kTs = 1,
+  kAt = 2,
+  kSig = 3,
+  kAdaptiveTs = 4,
+  kGroupedAt = 5,
+  kHybrid = 6,
+};
+
+constexpr uint32_t kTagBits = 3;
+constexpr uint32_t kIntervalBits = 32;
+constexpr uint32_t kHeaderTimestampBits = 48;  // ms since epoch 0
+constexpr uint32_t kCountBits = 24;
+
+StatusOr<uint64_t> QuantizeTimestamp(SimTime t) {
+  if (t < 0.0) return Status::InvalidArgument("negative timestamp");
+  const double ms = std::round(t / kTimestampResolutionSeconds);
+  if (ms >= std::pow(2.0, 48)) {
+    return Status::InvalidArgument("timestamp out of wire range");
+  }
+  return static_cast<uint64_t>(ms);
+}
+
+SimTime DequantizeTimestamp(uint64_t wire) {
+  return static_cast<double>(wire) * kTimestampResolutionSeconds;
+}
+
+/// Writes `value` into a logical field of `field_bits`, materializing at
+/// most 64 significant bits and zero-padding the rest so the wire size
+/// matches the accounting exactly.
+Status WriteWideField(BitWriter* writer, uint64_t value, uint64_t field_bits) {
+  const uint32_t real_bits =
+      static_cast<uint32_t>(field_bits < 64 ? field_bits : 64);
+  if (real_bits < 64 && (value >> real_bits) != 0) {
+    return Status::InvalidArgument("value does not fit its wire field");
+  }
+  // Zero padding for the (field - 64) high bits of very wide fields.
+  uint64_t pad = field_bits - real_bits;
+  while (pad > 0) {
+    const uint32_t chunk = static_cast<uint32_t>(pad < 64 ? pad : 64);
+    writer->Write(0, chunk);
+    pad -= chunk;
+  }
+  writer->Write(value, real_bits);
+  return Status::OK();
+}
+
+StatusOr<uint64_t> ReadWideField(BitReader* reader, uint64_t field_bits) {
+  const uint32_t real_bits =
+      static_cast<uint32_t>(field_bits < 64 ? field_bits : 64);
+  uint64_t pad = field_bits - real_bits;
+  while (pad > 0) {
+    const uint32_t chunk = static_cast<uint32_t>(pad < 64 ? pad : 64);
+    StatusOr<uint64_t> zero = reader->Read(chunk);
+    if (!zero.ok()) return zero.status();
+    if (*zero != 0) return Status::InvalidArgument("corrupt field padding");
+    pad -= chunk;
+  }
+  return reader->Read(real_bits);
+}
+
+struct HeaderBitsVisitor {
+  uint64_t operator()(const NullReport&) const { return Common(); }
+  uint64_t operator()(const TsReport&) const { return Common() + kCountBits; }
+  uint64_t operator()(const AtReport&) const { return Common() + kCountBits; }
+  uint64_t operator()(const SigReport&) const { return Common() + kCountBits; }
+  uint64_t operator()(const AdaptiveTsReport&) const {
+    // Two counts plus the window field width (8 bits).
+    return Common() + 2 * kCountBits + 8;
+  }
+  uint64_t operator()(const GroupedAtReport&) const {
+    // Count plus the group-space size (32 bits).
+    return Common() + kCountBits + 32;
+  }
+  uint64_t operator()(const HybridReport&) const {
+    return Common() + 2 * kCountBits;  // hot-id count + signature count
+  }
+
+  static uint64_t Common() {
+    return kTagBits + kIntervalBits + kHeaderTimestampBits;
+  }
+};
+
+struct EncodeVisitor {
+  BitWriter* writer;
+  const MessageSizes& sizes;
+
+  Status Common(WireTag tag, uint64_t interval, SimTime timestamp) const {
+    writer->Write(static_cast<uint64_t>(tag), kTagBits);
+    if (interval >= (1ULL << kIntervalBits)) {
+      return Status::InvalidArgument("interval out of wire range");
+    }
+    writer->Write(interval, kIntervalBits);
+    StatusOr<uint64_t> ts = QuantizeTimestamp(timestamp);
+    if (!ts.ok()) return ts.status();
+    writer->Write(*ts, kHeaderTimestampBits);
+    return Status::OK();
+  }
+
+  Status Count(size_t n) const {
+    if (n >= (1ULL << kCountBits)) {
+      return Status::InvalidArgument("entry count out of wire range");
+    }
+    writer->Write(n, kCountBits);
+    return Status::OK();
+  }
+
+  Status Id(ItemId id) const {
+    if (sizes.id_bits < 64 && (static_cast<uint64_t>(id) >> sizes.id_bits)) {
+      return Status::InvalidArgument("item id does not fit id_bits");
+    }
+    writer->Write(id, static_cast<uint32_t>(sizes.id_bits));
+    return Status::OK();
+  }
+
+  Status operator()(const NullReport& r) const {
+    return Common(WireTag::kNull, r.interval, r.timestamp);
+  }
+
+  Status operator()(const TsReport& r) const {
+    MOBICACHE_RETURN_IF_ERROR(Common(WireTag::kTs, r.interval, r.timestamp));
+    MOBICACHE_RETURN_IF_ERROR(Count(r.entries.size()));
+    for (const TsReportEntry& e : r.entries) {
+      MOBICACHE_RETURN_IF_ERROR(Id(e.id));
+      StatusOr<uint64_t> ts = QuantizeTimestamp(e.updated_at);
+      if (!ts.ok()) return ts.status();
+      MOBICACHE_RETURN_IF_ERROR(WriteWideField(writer, *ts, sizes.bT));
+    }
+    return Status::OK();
+  }
+
+  Status operator()(const AtReport& r) const {
+    MOBICACHE_RETURN_IF_ERROR(Common(WireTag::kAt, r.interval, r.timestamp));
+    MOBICACHE_RETURN_IF_ERROR(Count(r.ids.size()));
+    for (ItemId id : r.ids) MOBICACHE_RETURN_IF_ERROR(Id(id));
+    return Status::OK();
+  }
+
+  Status operator()(const SigReport& r) const {
+    MOBICACHE_RETURN_IF_ERROR(Common(WireTag::kSig, r.interval, r.timestamp));
+    MOBICACHE_RETURN_IF_ERROR(Count(r.combined.size()));
+    for (uint64_t sig : r.combined) {
+      if (sizes.sig_bits < 64 && (sig >> sizes.sig_bits) != 0) {
+        return Status::InvalidArgument("signature does not fit sig_bits");
+      }
+      writer->Write(sig, static_cast<uint32_t>(sizes.sig_bits));
+    }
+    return Status::OK();
+  }
+
+  Status operator()(const AdaptiveTsReport& r) const {
+    MOBICACHE_RETURN_IF_ERROR(
+        Common(WireTag::kAdaptiveTs, r.interval, r.timestamp));
+    writer->Write(r.window_bits, 8);
+    MOBICACHE_RETURN_IF_ERROR(Count(r.entries.size()));
+    for (const TsReportEntry& e : r.entries) {
+      MOBICACHE_RETURN_IF_ERROR(Id(e.id));
+      StatusOr<uint64_t> ts = QuantizeTimestamp(e.updated_at);
+      if (!ts.ok()) return ts.status();
+      MOBICACHE_RETURN_IF_ERROR(WriteWideField(writer, *ts, sizes.bT));
+    }
+    MOBICACHE_RETURN_IF_ERROR(Count(r.window_changes.size()));
+    for (const WindowChangeEntry& w : r.window_changes) {
+      MOBICACHE_RETURN_IF_ERROR(Id(w.id));
+      if (r.window_bits < 64 &&
+          (static_cast<uint64_t>(w.window_intervals) >> r.window_bits) != 0) {
+        return Status::InvalidArgument("window does not fit window_bits");
+      }
+      writer->Write(w.window_intervals, r.window_bits);
+    }
+    return Status::OK();
+  }
+
+  Status operator()(const HybridReport& r) const {
+    MOBICACHE_RETURN_IF_ERROR(
+        Common(WireTag::kHybrid, r.interval, r.timestamp));
+    MOBICACHE_RETURN_IF_ERROR(Count(r.hot_ids.size()));
+    for (ItemId id : r.hot_ids) MOBICACHE_RETURN_IF_ERROR(Id(id));
+    MOBICACHE_RETURN_IF_ERROR(Count(r.combined.size()));
+    for (uint64_t sig : r.combined) {
+      if (sizes.sig_bits < 64 && (sig >> sizes.sig_bits) != 0) {
+        return Status::InvalidArgument("signature does not fit sig_bits");
+      }
+      writer->Write(sig, static_cast<uint32_t>(sizes.sig_bits));
+    }
+    return Status::OK();
+  }
+
+  Status operator()(const GroupedAtReport& r) const {
+    MOBICACHE_RETURN_IF_ERROR(
+        Common(WireTag::kGroupedAt, r.interval, r.timestamp));
+    writer->Write(r.num_groups, 32);
+    MOBICACHE_RETURN_IF_ERROR(Count(r.groups.size()));
+    const uint32_t group_bits =
+        static_cast<uint32_t>(BitsForIds(r.num_groups));
+    for (uint32_t g : r.groups) {
+      if (group_bits < 64 && (static_cast<uint64_t>(g) >> group_bits) != 0) {
+        return Status::InvalidArgument("group id out of range");
+      }
+      writer->Write(g, group_bits);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+uint64_t ReportHeaderBits(const Report& report) {
+  return std::visit(HeaderBitsVisitor{}, report);
+}
+
+StatusOr<EncodedReport> EncodeReport(const Report& report,
+                                     const MessageSizes& sizes) {
+  BitWriter writer;
+  Status st = std::visit(EncodeVisitor{&writer, sizes}, report);
+  if (!st.ok()) return st;
+  EncodedReport out;
+  out.bytes = writer.bytes();
+  out.bit_size = writer.bit_size();
+  return out;
+}
+
+StatusOr<Report> DecodeReport(const EncodedReport& encoded,
+                              const MessageSizes& sizes) {
+  BitReader reader(encoded.bytes, encoded.bit_size);
+  StatusOr<uint64_t> tag = reader.Read(kTagBits);
+  if (!tag.ok()) return tag.status();
+  StatusOr<uint64_t> interval = reader.Read(kIntervalBits);
+  if (!interval.ok()) return interval.status();
+  StatusOr<uint64_t> ts_wire = reader.Read(kHeaderTimestampBits);
+  if (!ts_wire.ok()) return ts_wire.status();
+  const SimTime timestamp = DequantizeTimestamp(*ts_wire);
+
+  auto read_count = [&]() -> StatusOr<uint64_t> {
+    return reader.Read(kCountBits);
+  };
+
+  switch (static_cast<WireTag>(*tag)) {
+    case WireTag::kNull: {
+      NullReport r;
+      r.interval = *interval;
+      r.timestamp = timestamp;
+      return Report(r);
+    }
+    case WireTag::kTs: {
+      TsReport r;
+      r.interval = *interval;
+      r.timestamp = timestamp;
+      StatusOr<uint64_t> count = read_count();
+      if (!count.ok()) return count.status();
+      for (uint64_t i = 0; i < *count; ++i) {
+        StatusOr<uint64_t> id =
+            reader.Read(static_cast<uint32_t>(sizes.id_bits));
+        if (!id.ok()) return id.status();
+        StatusOr<uint64_t> ts = ReadWideField(&reader, sizes.bT);
+        if (!ts.ok()) return ts.status();
+        r.entries.push_back(TsReportEntry{static_cast<ItemId>(*id),
+                                          DequantizeTimestamp(*ts)});
+      }
+      return Report(r);
+    }
+    case WireTag::kAt: {
+      AtReport r;
+      r.interval = *interval;
+      r.timestamp = timestamp;
+      StatusOr<uint64_t> count = read_count();
+      if (!count.ok()) return count.status();
+      for (uint64_t i = 0; i < *count; ++i) {
+        StatusOr<uint64_t> id =
+            reader.Read(static_cast<uint32_t>(sizes.id_bits));
+        if (!id.ok()) return id.status();
+        r.ids.push_back(static_cast<ItemId>(*id));
+      }
+      return Report(r);
+    }
+    case WireTag::kSig: {
+      SigReport r;
+      r.interval = *interval;
+      r.timestamp = timestamp;
+      StatusOr<uint64_t> count = read_count();
+      if (!count.ok()) return count.status();
+      for (uint64_t i = 0; i < *count; ++i) {
+        StatusOr<uint64_t> sig =
+            reader.Read(static_cast<uint32_t>(sizes.sig_bits));
+        if (!sig.ok()) return sig.status();
+        r.combined.push_back(*sig);
+      }
+      return Report(r);
+    }
+    case WireTag::kAdaptiveTs: {
+      AdaptiveTsReport r;
+      r.interval = *interval;
+      r.timestamp = timestamp;
+      StatusOr<uint64_t> window_bits = reader.Read(8);
+      if (!window_bits.ok()) return window_bits.status();
+      r.window_bits = static_cast<uint32_t>(*window_bits);
+      StatusOr<uint64_t> entries = read_count();
+      if (!entries.ok()) return entries.status();
+      for (uint64_t i = 0; i < *entries; ++i) {
+        StatusOr<uint64_t> id =
+            reader.Read(static_cast<uint32_t>(sizes.id_bits));
+        if (!id.ok()) return id.status();
+        StatusOr<uint64_t> ts = ReadWideField(&reader, sizes.bT);
+        if (!ts.ok()) return ts.status();
+        r.entries.push_back(TsReportEntry{static_cast<ItemId>(*id),
+                                          DequantizeTimestamp(*ts)});
+      }
+      StatusOr<uint64_t> changes = read_count();
+      if (!changes.ok()) return changes.status();
+      for (uint64_t i = 0; i < *changes; ++i) {
+        StatusOr<uint64_t> id =
+            reader.Read(static_cast<uint32_t>(sizes.id_bits));
+        if (!id.ok()) return id.status();
+        StatusOr<uint64_t> window = reader.Read(r.window_bits);
+        if (!window.ok()) return window.status();
+        r.window_changes.push_back(WindowChangeEntry{
+            static_cast<ItemId>(*id), static_cast<uint32_t>(*window)});
+      }
+      return Report(r);
+    }
+    case WireTag::kHybrid: {
+      HybridReport r;
+      r.interval = *interval;
+      r.timestamp = timestamp;
+      StatusOr<uint64_t> hot = read_count();
+      if (!hot.ok()) return hot.status();
+      for (uint64_t i = 0; i < *hot; ++i) {
+        StatusOr<uint64_t> id =
+            reader.Read(static_cast<uint32_t>(sizes.id_bits));
+        if (!id.ok()) return id.status();
+        r.hot_ids.push_back(static_cast<ItemId>(*id));
+      }
+      StatusOr<uint64_t> count = read_count();
+      if (!count.ok()) return count.status();
+      for (uint64_t i = 0; i < *count; ++i) {
+        StatusOr<uint64_t> sig =
+            reader.Read(static_cast<uint32_t>(sizes.sig_bits));
+        if (!sig.ok()) return sig.status();
+        r.combined.push_back(*sig);
+      }
+      return Report(r);
+    }
+    case WireTag::kGroupedAt: {
+      GroupedAtReport r;
+      r.interval = *interval;
+      r.timestamp = timestamp;
+      StatusOr<uint64_t> num_groups = reader.Read(32);
+      if (!num_groups.ok()) return num_groups.status();
+      r.num_groups = static_cast<uint32_t>(*num_groups);
+      if (r.num_groups == 0) {
+        return Status::InvalidArgument("corrupt group count");
+      }
+      StatusOr<uint64_t> count = read_count();
+      if (!count.ok()) return count.status();
+      const uint32_t group_bits =
+          static_cast<uint32_t>(BitsForIds(r.num_groups));
+      for (uint64_t i = 0; i < *count; ++i) {
+        StatusOr<uint64_t> g = reader.Read(group_bits);
+        if (!g.ok()) return g.status();
+        r.groups.push_back(static_cast<uint32_t>(*g));
+      }
+      return Report(r);
+    }
+  }
+  return Status::InvalidArgument("unknown report tag");
+}
+
+}  // namespace mobicache

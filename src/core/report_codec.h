@@ -1,0 +1,49 @@
+// Wire codec for invalidation reports. Encodes any Report alternative into
+// a packed bitstream whose payload occupies *exactly* the bits the paper's
+// accounting charges (ReportSizeBits), preceded by a small fixed header
+// (variant tag, interval index, broadcast timestamp, entry counts). This
+// keeps the bit-level cost model honest: tests assert that the encoded
+// payload and the analytic Bc agree bit for bit.
+//
+// Timestamps are quantized to milliseconds and padded/truncated to the
+// configured bT field width; values that do not fit their field width are
+// rejected with InvalidArgument rather than silently wrapped.
+
+#ifndef MOBICACHE_CORE_REPORT_CODEC_H_
+#define MOBICACHE_CORE_REPORT_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/report.h"
+#include "net/channel.h"
+#include "util/status.h"
+
+namespace mobicache {
+
+/// A report's wire image.
+struct EncodedReport {
+  std::vector<uint8_t> bytes;
+  uint64_t bit_size = 0;
+};
+
+/// Timestamp quantum used on the wire (milliseconds).
+constexpr double kTimestampResolutionSeconds = 1e-3;
+
+/// Fixed header cost of the encoded form (not part of the paper's Bc).
+uint64_t ReportHeaderBits(const Report& report);
+
+/// Serializes the report. Fails with InvalidArgument if an id does not fit
+/// sizes.id_bits, a timestamp does not fit bT (after quantization), or a
+/// signature does not fit sizes.sig_bits.
+StatusOr<EncodedReport> EncodeReport(const Report& report,
+                                     const MessageSizes& sizes);
+
+/// Parses a wire image produced by EncodeReport with the same sizes.
+/// Timestamps come back quantized to the wire resolution.
+StatusOr<Report> DecodeReport(const EncodedReport& encoded,
+                              const MessageSizes& sizes);
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_CORE_REPORT_CODEC_H_

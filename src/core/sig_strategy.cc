@@ -1,0 +1,43 @@
+#include "core/sig_strategy.h"
+
+#include <cassert>
+
+namespace mobicache {
+
+SigServerStrategy::SigServerStrategy(const Database* db,
+                                     const SignatureFamily* family,
+                                     SimTime latency)
+    : db_(db), family_(family), latency_(latency), state_(family, db) {
+  assert(latency > 0.0);
+  assert(family->n() == db->size());
+}
+
+Report SigServerStrategy::BuildReport(SimTime now, uint64_t interval) {
+  // Fold every item changed since the last snapshot into the combined
+  // signatures, then broadcast the current m signatures.
+  for (const UpdatedItem& item : db_->UpdatedIn(last_folded_, now)) {
+    state_.OnItemChanged(item.id);
+  }
+  last_folded_ = now;
+
+  SigReport report;
+  report.interval = interval;
+  report.timestamp = now;
+  report.combined = state_.Combined();
+  return report;
+}
+
+SigClientManager::SigClientManager(const SignatureFamily* family,
+                                   const std::vector<ItemId>& interest)
+    : view_(family, interest) {}
+
+uint64_t SigClientManager::OnReport(const Report& report, ClientCache* cache) {
+  const auto& sig = std::get<SigReport>(report);
+  const std::vector<ItemId> invalid =
+      view_.DiagnoseAndAdopt(sig.combined, cache->Items());
+  for (ItemId id : invalid) cache->Erase(id);
+  for (ItemId id : cache->Items()) cache->SetTimestamp(id, sig.timestamp);
+  return invalid.size();
+}
+
+}  // namespace mobicache

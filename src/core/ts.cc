@@ -1,0 +1,65 @@
+#include "core/ts.h"
+
+#include <cassert>
+
+namespace mobicache {
+
+TsServerStrategy::TsServerStrategy(const Database* db, SimTime latency,
+                                   uint64_t window_intervals)
+    : db_(db),
+      latency_(latency),
+      window_intervals_(window_intervals),
+      window_(latency * static_cast<double>(window_intervals)) {
+  assert(latency > 0.0);
+  assert(window_intervals >= 1);
+}
+
+Report TsServerStrategy::BuildReport(SimTime now, uint64_t interval) {
+  TsReport report;
+  report.interval = interval;
+  report.timestamp = now;
+  report.window = window_;
+  // U_i = { [j, t_j] : T_i - w < t_j <= T_i }  (Eq. 1)
+  for (const UpdatedItem& item : db_->UpdatedIn(now - window_, now)) {
+    report.entries.push_back(TsReportEntry{item.id, item.updated_at});
+  }
+  return report;
+}
+
+TsClientManager::TsClientManager(uint64_t window_intervals)
+    : window_intervals_(window_intervals) {
+  assert(window_intervals >= 1);
+}
+
+uint64_t TsClientManager::OnReport(const Report& report, ClientCache* cache) {
+  const auto& ts = std::get<TsReport>(report);
+  uint64_t invalidated = 0;
+
+  // Drop rule: slept through more than k intervals since the last heard
+  // report (T_i - T_l > w), or never heard one.
+  const bool gap_too_long =
+      !heard_any_ || ts.interval > last_interval_ + window_intervals_;
+  if (gap_too_long) {
+    invalidated = cache->size();
+    cache->Clear();
+  } else {
+    // Purge cached items the report marks as changed after the copy's
+    // validity timestamp; every surviving item is revalidated through T_i.
+    for (const TsReportEntry& entry : ts.entries) {
+      const CacheEntry* cached = cache->Peek(entry.id);
+      if (cached != nullptr && cached->timestamp < entry.updated_at) {
+        cache->Erase(entry.id);
+        ++invalidated;
+      }
+    }
+    for (ItemId id : cache->Items()) {
+      cache->SetTimestamp(id, ts.timestamp);
+    }
+  }
+
+  heard_any_ = true;
+  last_interval_ = ts.interval;
+  return invalidated;
+}
+
+}  // namespace mobicache

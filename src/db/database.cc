@@ -1,0 +1,98 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/random.h"
+
+namespace mobicache {
+
+uint64_t SyntheticValue(uint64_t seed, ItemId id, uint64_t version) {
+  uint64_t state = seed ^ (0x9E3779B97F4A7C15ULL * (id + 1)) ^
+                   (0xD1B54A32D192ED03ULL * (version + 1));
+  return SplitMix64(&state);
+}
+
+Database::Database(uint64_t n, uint64_t seed) : seed_(seed) {
+  assert(n >= 1);
+  items_.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    items_[i].value = SyntheticValue(seed_, static_cast<ItemId>(i), 0);
+  }
+}
+
+void Database::ApplyUpdate(ItemId id, SimTime now) {
+  assert(id < items_.size());
+  assert(journal_.empty() || now >= journal_.back().time);
+  ItemState& item = items_[id];
+  ++item.version;
+  item.value = SyntheticValue(seed_, id, item.version);
+  item.last_update = now;
+  journal_.push_back(JournalEntry{now, id});
+  ++total_updates_;
+  if (observer_) observer_(id, now);
+}
+
+std::vector<UpdatedItem> Database::UpdatedIn(SimTime lo, SimTime hi) const {
+  std::vector<UpdatedItem> out;
+  if (hi <= lo) return out;
+  // Find the first journal entry with time > lo.
+  auto first = std::upper_bound(
+      journal_.begin(), journal_.end(), lo,
+      [](SimTime t, const JournalEntry& e) { return t < e.time; });
+  for (auto it = first; it != journal_.end() && it->time <= hi; ++it) {
+    // Report an item only at its *latest* update within scope; entries that
+    // were later superseded (even by an update after `hi`) are not the
+    // item's last update and are skipped via the authoritative item state.
+    if (items_[it->id].last_update == it->time) {
+      out.push_back(UpdatedItem{it->id, it->time});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const UpdatedItem& a, const UpdatedItem& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+uint64_t Database::CountUpdatedIn(SimTime lo, SimTime hi) const {
+  return UpdatedIn(lo, hi).size();
+}
+
+std::vector<UpdatedItem> Database::JournalIn(SimTime lo, SimTime hi) const {
+  std::vector<UpdatedItem> out;
+  if (hi <= lo) return out;
+  auto first = std::upper_bound(
+      journal_.begin(), journal_.end(), lo,
+      [](SimTime t, const JournalEntry& e) { return t < e.time; });
+  for (auto it = first; it != journal_.end() && it->time <= hi; ++it) {
+    out.push_back(UpdatedItem{it->id, it->time});
+  }
+  return out;
+}
+
+uint64_t Database::VersionAt(ItemId id, SimTime t) const {
+  assert(id < items_.size());
+  uint64_t after = 0;
+  // Updates strictly after t are still in the journal (caller's contract).
+  auto first = std::upper_bound(
+      journal_.begin(), journal_.end(), t,
+      [](SimTime time, const JournalEntry& e) { return time < e.time; });
+  for (auto it = first; it != journal_.end(); ++it) {
+    if (it->id == id) ++after;
+  }
+  assert(items_[id].version >= after);
+  return items_[id].version - after;
+}
+
+uint64_t Database::ValueAt(ItemId id, SimTime t) const {
+  return SyntheticValue(seed_, id, VersionAt(id, t));
+}
+
+void Database::PruneJournalBefore(SimTime horizon) {
+  while (!journal_.empty() && journal_.front().time <= horizon) {
+    journal_.pop_front();
+  }
+}
+
+}  // namespace mobicache

@@ -1,0 +1,111 @@
+// Server-side database substrate: n named items with synthetic 64-bit
+// values, per-item update timestamps, and a time-ordered update journal that
+// answers the window queries the invalidation-report builders need
+// ("which items changed in (lo, hi], and when was each one's last change?").
+
+#ifndef MOBICACHE_DB_DATABASE_H_
+#define MOBICACHE_DB_DATABASE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/status.h"
+
+namespace mobicache {
+
+/// Dense item identifier in [0, n).
+using ItemId = uint32_t;
+
+/// Current state of one database item.
+struct ItemState {
+  uint64_t value = 0;     ///< Synthetic value; changes on every update.
+  uint64_t version = 0;   ///< Number of updates applied so far.
+  SimTime last_update = 0.0;  ///< Time of the most recent update (0 if none).
+};
+
+/// An (item, last-update-time) pair returned by window queries.
+struct UpdatedItem {
+  ItemId id = 0;
+  SimTime updated_at = 0.0;
+};
+
+/// The replicated database held by the stationary server. Single-writer (the
+/// server applies all updates, per the paper's §2 assumption).
+class Database {
+ public:
+  /// Creates `n` items (n >= 1) with deterministic initial values derived
+  /// from `seed`.
+  Database(uint64_t n, uint64_t seed);
+
+  uint64_t size() const { return items_.size(); }
+
+  /// Read the current state of an item. `id` must be < size().
+  const ItemState& Get(ItemId id) const { return items_[id]; }
+
+  /// Applies one update to `id` at time `now`: bumps the version, derives a
+  /// fresh value, stamps the time, and journals the change. `now` must be
+  /// monotonically non-decreasing across calls.
+  void ApplyUpdate(ItemId id, SimTime now);
+
+  /// Items whose *last* update falls in (lo, hi], each reported once with
+  /// its latest update time, in increasing id order. This is exactly the
+  /// report-list definition used by TS (Eq. 1) and AT (Eq. 2).
+  std::vector<UpdatedItem> UpdatedIn(SimTime lo, SimTime hi) const;
+
+  /// Number of distinct items whose last update lies in (lo, hi].
+  uint64_t CountUpdatedIn(SimTime lo, SimTime hi) const;
+
+  /// Raw update events (every update, not just the last per item) with time
+  /// in (lo, hi], ascending by time. Used by the adaptive controller to
+  /// reconstruct per-item update histories for hit-ratio estimation.
+  std::vector<UpdatedItem> JournalIn(SimTime lo, SimTime hi) const;
+
+  /// Version of `id` as of time `t` (inclusive), reconstructed from the
+  /// journal. Only valid while the journal still covers (t, now] for this
+  /// item — i.e. t must not predate the prune horizon. Used by tests and
+  /// benches to verify cache contents against historical ground truth.
+  uint64_t VersionAt(ItemId id, SimTime t) const;
+
+  /// Value of `id` as of time `t` (see VersionAt's journal caveat).
+  uint64_t ValueAt(ItemId id, SimTime t) const;
+
+  uint64_t seed() const { return seed_; }
+
+  /// Drops journal entries with time <= `horizon`. Builders never look
+  /// further back than the largest report window, so the server prunes
+  /// periodically to bound memory.
+  void PruneJournalBefore(SimTime horizon);
+
+  uint64_t total_updates() const { return total_updates_; }
+  size_t journal_size() const { return journal_.size(); }
+
+  /// Installs a callback invoked after every ApplyUpdate. Used by the
+  /// stateful-server baseline, which reacts to individual updates instead of
+  /// building periodic reports. Pass nullptr to remove.
+  void SetUpdateObserver(std::function<void(ItemId, SimTime)> observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  struct JournalEntry {
+    SimTime time;
+    ItemId id;
+  };
+
+  std::vector<ItemState> items_;
+  std::deque<JournalEntry> journal_;  // ascending time
+  uint64_t total_updates_ = 0;
+  uint64_t seed_;
+  std::function<void(ItemId, SimTime)> observer_;
+};
+
+/// Derives the synthetic value of (`seed`, `id`, `version`). Exposed so
+/// tests and clients can verify cache contents against the ground truth.
+uint64_t SyntheticValue(uint64_t seed, ItemId id, uint64_t version);
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_DB_DATABASE_H_

@@ -1,0 +1,84 @@
+#include "db/update_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mobicache {
+
+UpdateGenerator::UpdateGenerator(Simulator* sim, Database* db,
+                                 double mu_per_item, uint64_t seed)
+    : sim_(sim), db_(db), rng_(seed), uniform_rate_(mu_per_item) {
+  assert(mu_per_item >= 0.0);
+  total_rate_ = mu_per_item * static_cast<double>(db_->size());
+}
+
+UpdateGenerator::UpdateGenerator(Simulator* sim, Database* db,
+                                 std::vector<double> rates, uint64_t seed)
+    : sim_(sim), db_(db), rng_(seed), rates_(std::move(rates)) {
+  assert(rates_.size() == db_->size());
+  rate_cdf_.resize(rates_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < rates_.size(); ++i) {
+    assert(rates_[i] >= 0.0);
+    acc += rates_[i];
+    rate_cdf_[i] = acc;
+  }
+  total_rate_ = acc;
+}
+
+UpdateGenerator::~UpdateGenerator() { Stop(); }
+
+Status UpdateGenerator::Start() {
+  if (active_) return Status::FailedPrecondition("generator already started");
+  active_ = true;
+  if (total_rate_ > 0.0) ScheduleNext();
+  return Status::OK();
+}
+
+void UpdateGenerator::Stop() {
+  if (!active_) return;
+  sim_->Cancel(pending_);
+  active_ = false;
+}
+
+double UpdateGenerator::RateOf(ItemId id) const {
+  assert(id < db_->size());
+  return rates_.empty() ? uniform_rate_ : rates_[id];
+}
+
+void UpdateGenerator::ScheduleNext() {
+  const double gap = rng_.Exponential(total_rate_);
+  pending_ = sim_->ScheduleAfter(gap, [this] { Fire(); });
+}
+
+void UpdateGenerator::Fire() {
+  db_->ApplyUpdate(SampleItem(), sim_->Now());
+  ++updates_generated_;
+  ScheduleNext();
+}
+
+ItemId UpdateGenerator::SampleItem() {
+  if (rates_.empty()) {
+    return static_cast<ItemId>(rng_.NextUint64(db_->size()));
+  }
+  const double u = rng_.NextDouble() * total_rate_;
+  auto it = std::lower_bound(rate_cdf_.begin(), rate_cdf_.end(), u);
+  if (it == rate_cdf_.end()) --it;
+  return static_cast<ItemId>(it - rate_cdf_.begin());
+}
+
+std::vector<double> ZipfUpdateRates(uint64_t n, double mu_mean, double theta) {
+  assert(n >= 1);
+  std::vector<double> rates(n);
+  double norm = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    rates[i] = 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    norm += rates[i];
+  }
+  const double scale = mu_mean * static_cast<double>(n) / norm;
+  for (auto& r : rates) r *= scale;
+  return rates;
+}
+
+}  // namespace mobicache

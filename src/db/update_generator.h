@@ -1,0 +1,78 @@
+// Poisson update workload driving the server database. The paper's model
+// updates every item independently at rate mu; we simulate the equivalent
+// superposed process (one exponential clock at rate n*mu, uniform item
+// choice), which also generalizes to non-uniform per-item weights (Zipf)
+// for the weighted-signature / adaptive-window extensions.
+
+#ifndef MOBICACHE_DB_UPDATE_GENERATOR_H_
+#define MOBICACHE_DB_UPDATE_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "db/database.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace mobicache {
+
+/// Streams updates into a Database according to independent per-item Poisson
+/// processes.
+class UpdateGenerator {
+ public:
+  /// Uniform profile: every item updates at rate `mu_per_item` (>= 0).
+  UpdateGenerator(Simulator* sim, Database* db, double mu_per_item,
+                  uint64_t seed);
+
+  /// Weighted profile: item i updates at rate `rates[i]` (all >= 0); the
+  /// vector size must equal db->size().
+  UpdateGenerator(Simulator* sim, Database* db, std::vector<double> rates,
+                  uint64_t seed);
+
+  UpdateGenerator(const UpdateGenerator&) = delete;
+  UpdateGenerator& operator=(const UpdateGenerator&) = delete;
+  ~UpdateGenerator();
+
+  /// Begins generating updates from the current simulation time. Returns
+  /// FailedPrecondition if already started. A zero total rate is legal and
+  /// generates nothing.
+  Status Start();
+
+  /// Stops generating; pending update events are cancelled. Idempotent.
+  void Stop();
+
+  /// Per-item rate for `id`.
+  double RateOf(ItemId id) const;
+
+  /// Sum of all per-item rates.
+  double total_rate() const { return total_rate_; }
+
+  uint64_t updates_generated() const { return updates_generated_; }
+
+ private:
+  void ScheduleNext();
+  void Fire();
+  ItemId SampleItem();
+
+  Simulator* sim_;
+  Database* db_;
+  Rng rng_;
+  double uniform_rate_ = 0.0;       // used when rates_ is empty
+  std::vector<double> rates_;       // per-item rates (weighted profile)
+  std::vector<double> rate_cdf_;    // cumulative rates for weighted sampling
+  double total_rate_ = 0.0;
+  bool active_ = false;
+  EventId pending_{};
+  uint64_t updates_generated_ = 0;
+};
+
+/// Builds a per-item rate vector whose ranks follow Zipf(theta) and whose
+/// total equals `n * mu_mean` (so uniform-rate formulas stay comparable).
+/// Rank 0 (the hottest updater) is item 0.
+std::vector<double> ZipfUpdateRates(uint64_t n, double mu_mean, double theta);
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_DB_UPDATE_GENERATOR_H_

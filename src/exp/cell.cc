@@ -1,0 +1,361 @@
+#include "exp/cell.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "core/at.h"
+#include "core/grouped.h"
+#include "core/hybrid.h"
+#include "core/nocache.h"
+#include "core/sig_strategy.h"
+#include "core/ts.h"
+#include "mu/hotspot.h"
+#include "mu/sleep_model.h"
+#include "util/bits.h"
+#include "util/random.h"
+
+namespace mobicache {
+
+Cell::Cell(CellConfig config) : config_(std::move(config)) {}
+
+Cell::~Cell() {
+  // The database's update observer may reference the registry; detach first.
+  if (db_ != nullptr) db_->SetUpdateObserver(nullptr);
+}
+
+std::vector<MobileUnit*> Cell::units() {
+  std::vector<MobileUnit*> out;
+  out.reserve(units_.size());
+  for (auto& u : units_) out.push_back(u.get());
+  return out;
+}
+
+std::unique_ptr<ServerStrategy> Cell::MakeServerStrategy() {
+  const ModelParams& m = config_.model;
+  switch (config_.strategy) {
+    case StrategyKind::kTs:
+      return std::make_unique<TsServerStrategy>(db_.get(), m.L, m.k);
+    case StrategyKind::kAt:
+      return std::make_unique<AtServerStrategy>(db_.get(), m.L);
+    case StrategyKind::kSig:
+      return std::make_unique<SigServerStrategy>(db_.get(), family_.get(),
+                                                 m.L);
+    case StrategyKind::kAdaptiveTs:
+      return std::make_unique<AdaptiveTsServerStrategy>(db_.get(), m.L,
+                                                        sizes_,
+                                                        config_.adaptive);
+    case StrategyKind::kQuasiAt:
+      if (config_.quasi_arithmetic) {
+        return std::make_unique<ArithmeticAtServerStrategy>(
+            db_.get(), walk_.get(), m.L, config_.quasi_epsilon);
+      }
+      return std::make_unique<QuasiAtServerStrategy>(
+          db_.get(), m.L, config_.quasi_alpha_intervals);
+    case StrategyKind::kGroupedAt:
+      return std::make_unique<GroupedAtServerStrategy>(db_.get(), m.L,
+                                                       config_.num_groups);
+    case StrategyKind::kHybridSig:
+      return std::make_unique<HybridSigServerStrategy>(
+          db_.get(), family_.get(), m.L, config_.hybrid_hot_set);
+    case StrategyKind::kNoCache:
+    case StrategyKind::kIdeal:
+    case StrategyKind::kStateful:
+    case StrategyKind::kAsync:
+      return std::make_unique<NullServerStrategy>();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ClientCacheManager> Cell::MakeClientManager(
+    const std::vector<ItemId>& hotspot) {
+  const ModelParams& m = config_.model;
+  switch (config_.strategy) {
+    case StrategyKind::kTs:
+      return std::make_unique<TsClientManager>(m.k);
+    case StrategyKind::kAt:
+      return std::make_unique<AtClientManager>();
+    case StrategyKind::kSig:
+      return std::make_unique<SigClientManager>(family_.get(), hotspot);
+    case StrategyKind::kAdaptiveTs:
+      return std::make_unique<AdaptiveTsClientManager>(m.L, config_.adaptive);
+    case StrategyKind::kQuasiAt:
+      if (config_.quasi_arithmetic) {
+        // Arithmetic-condition clients are plain AT clients; the filtering
+        // happens entirely server-side.
+        return std::make_unique<AtClientManager>();
+      }
+      return std::make_unique<QuasiAtClientManager>(
+          m.L * static_cast<double>(config_.quasi_alpha_intervals), m.L);
+    case StrategyKind::kGroupedAt:
+      return std::make_unique<GroupedAtClientManager>(m.n,
+                                                      config_.num_groups);
+    case StrategyKind::kHybridSig:
+      return std::make_unique<HybridSigClientManager>(
+          family_.get(), hotspot, config_.hybrid_hot_set);
+    case StrategyKind::kNoCache:
+      return std::make_unique<NoCacheClientManager>();
+    case StrategyKind::kAsync:
+      return std::make_unique<AsyncClientManager>();
+    case StrategyKind::kIdeal:
+      return std::make_unique<StatefulClientManager>(StatefulMode::kIdeal);
+    case StrategyKind::kStateful:
+      return std::make_unique<StatefulClientManager>(StatefulMode::kStateful);
+  }
+  return nullptr;
+}
+
+Status Cell::Build() {
+  if (built_) return Status::FailedPrecondition("cell already built");
+  const ModelParams& m = config_.model;
+  if (m.n == 0) return Status::InvalidArgument("database size must be >= 1");
+  if (m.L <= 0.0) return Status::InvalidArgument("latency must be positive");
+  if (m.W <= 0.0) return Status::InvalidArgument("bandwidth must be positive");
+  if (m.s < 0.0 || m.s > 1.0) {
+    return Status::InvalidArgument("sleep probability must be in [0, 1]");
+  }
+  if (config_.hotspot_size == 0 || config_.hotspot_size > m.n) {
+    return Status::InvalidArgument("hotspot size must be in [1, n]");
+  }
+  if (config_.num_units == 0) {
+    return Status::InvalidArgument("need at least one mobile unit");
+  }
+  if (config_.strategy == StrategyKind::kGroupedAt &&
+      (config_.num_groups == 0 || config_.num_groups > m.n)) {
+    return Status::InvalidArgument("num_groups must be in [1, n]");
+  }
+  if (!config_.custom_hotspots.empty()) {
+    if (config_.custom_hotspots.size() != config_.num_units) {
+      return Status::InvalidArgument(
+          "custom_hotspots must have one entry per unit");
+    }
+    for (const auto& hotspot : config_.custom_hotspots) {
+      if (hotspot.empty()) {
+        return Status::InvalidArgument("custom hotspot may not be empty");
+      }
+      for (ItemId id : hotspot) {
+        if (id >= m.n) {
+          return Status::InvalidArgument("custom hotspot item out of range");
+        }
+      }
+    }
+  }
+
+  sizes_.bq = m.bq;
+  sizes_.ba = m.ba;
+  sizes_.bT = m.bT;
+  sizes_.id_bits =
+      m.id_bits_override != 0 ? m.id_bits_override : BitsForIds(m.n);
+  sizes_.sig_bits = m.g;
+
+  uint64_t seed_state = config_.seed;
+  const uint64_t db_seed = SplitMix64(&seed_state);
+  const uint64_t update_seed = SplitMix64(&seed_state);
+  const uint64_t family_seed = SplitMix64(&seed_state);
+  const uint64_t delivery_seed = SplitMix64(&seed_state);
+  const uint64_t hotspot_seed = SplitMix64(&seed_state);
+
+  if (!config_.update_rates.empty() && config_.update_rates.size() != m.n) {
+    return Status::InvalidArgument("update_rates size must equal n");
+  }
+
+  sim_ = std::make_unique<Simulator>();
+  db_ = std::make_unique<Database>(m.n, db_seed);
+  if (config_.update_rates.empty()) {
+    updates_ = std::make_unique<UpdateGenerator>(sim_.get(), db_.get(), m.mu,
+                                                 update_seed);
+  } else {
+    updates_ = std::make_unique<UpdateGenerator>(
+        sim_.get(), db_.get(), config_.update_rates, update_seed);
+  }
+  channel_ = std::make_unique<Channel>(sim_.get(), m.W);
+  delivery_ = std::make_unique<DeliveryModel>(
+      config_.delivery, config_.mean_jitter_seconds, delivery_seed);
+
+  if (config_.strategy == StrategyKind::kHybridSig) {
+    if (config_.hybrid_hot_set.empty()) {
+      config_.hybrid_hot_set = ContiguousHotSpot(m.n, 0, config_.hotspot_size);
+    }
+    if (!std::is_sorted(config_.hybrid_hot_set.begin(),
+                        config_.hybrid_hot_set.end())) {
+      return Status::InvalidArgument("hybrid_hot_set must be sorted");
+    }
+    for (ItemId id : config_.hybrid_hot_set) {
+      if (id >= m.n) {
+        return Status::InvalidArgument("hybrid_hot_set item out of range");
+      }
+    }
+  }
+  if (config_.strategy == StrategyKind::kSig ||
+      config_.strategy == StrategyKind::kHybridSig) {
+    SignatureParams sp;
+    sp.f = m.f;
+    sp.g = m.g;
+    sp.k_threshold = config_.sig_k_threshold;
+    sp.per_item_threshold = config_.sig_per_item_threshold;
+    sp.gamma = config_.sig_gamma;
+    sp.m = SigSignatureCount(m);
+    family_ = std::make_unique<SignatureFamily>(m.n, sp, family_seed);
+  }
+  if (config_.strategy == StrategyKind::kQuasiAt && config_.quasi_arithmetic) {
+    walk_ = std::make_unique<NumericWalk>(db_seed ^ 0x5bd1e995,
+                                          config_.numeric_step_scale);
+  }
+  const bool stateful = config_.strategy == StrategyKind::kIdeal ||
+                        config_.strategy == StrategyKind::kStateful;
+  const bool async = config_.strategy == StrategyKind::kAsync;
+  if (stateful) {
+    const StatefulMode mode = config_.strategy == StrategyKind::kIdeal
+                                  ? StatefulMode::kIdeal
+                                  : StatefulMode::kStateful;
+    registry_ =
+        std::make_unique<StatefulRegistry>(mode, channel_.get(), sizes_);
+    db_->SetUpdateObserver([this](ItemId id, SimTime t) {
+      registry_->OnUpdate(id, t);
+    });
+  }
+  if (async) {
+    async_ = std::make_unique<AsyncBroadcaster>(sim_.get(), channel_.get(),
+                                                sizes_);
+    db_->SetUpdateObserver([this](ItemId id, SimTime t) {
+      async_->OnUpdate(id, t);
+    });
+  }
+
+  ServerConfig sc;
+  sc.latency = m.L;
+  sc.sizes = sizes_;
+  server_ = std::make_unique<Server>(sim_.get(), db_.get(), channel_.get(),
+                                     MakeServerStrategy(), delivery_.get(),
+                                     sc);
+
+  Rng hotspot_rng(hotspot_seed);
+  const std::vector<ItemId> shared =
+      ContiguousHotSpot(m.n, 0, config_.hotspot_size);
+  for (uint64_t i = 0; i < config_.num_units; ++i) {
+    const std::vector<ItemId> hotspot =
+        !config_.custom_hotspots.empty()
+            ? config_.custom_hotspots[i]
+            : (config_.shared_hotspot
+                   ? shared
+                   : RandomHotSpot(m.n, config_.hotspot_size, hotspot_rng));
+
+    MobileUnitConfig mc;
+    mc.latency = m.L;
+    mc.lambda_per_item = m.lambda;
+    mc.hotspot = hotspot;
+    mc.answer_immediately = stateful || async;
+    mc.cache_capacity = config_.cache_capacity;
+    mc.unit_id = static_cast<uint32_t>(i);
+    mc.query_zipf_theta = config_.query_zipf_theta;
+
+    std::unique_ptr<SleepModel> sleep;
+    const uint64_t mu_seed = SplitMix64(&seed_state);
+    if (config_.renewal_sleep) {
+      sleep = std::make_unique<RenewalSleepModel>(
+          m.L, config_.mean_awake_seconds, config_.mean_sleep_seconds,
+          mu_seed ^ 0x9e3779b9);
+    } else {
+      sleep = std::make_unique<BernoulliSleepModel>(m.s, mu_seed ^ 0x9e3779b9);
+    }
+
+    auto unit = std::make_unique<MobileUnit>(
+        sim_.get(), std::move(mc), MakeClientManager(hotspot),
+        std::move(sleep), server_.get(), mu_seed);
+    if (stateful) {
+      unit->BindStatefulRegistry(
+          registry_.get(), config_.strategy == StrategyKind::kStateful);
+    }
+    if (async) {
+      unit->SetDropCacheOnWake(true);
+      async_->AttachUnit(unit.get());
+    }
+    server_->AttachUnit(unit.get());
+    units_.push_back(std::move(unit));
+  }
+
+  built_ = true;
+  return Status::OK();
+}
+
+Status Cell::Run(uint64_t warmup_intervals, uint64_t measure_intervals) {
+  if (!built_) return Status::FailedPrecondition("Build() first");
+  if (ran_) return Status::FailedPrecondition("cell already ran");
+  if (measure_intervals == 0) {
+    return Status::InvalidArgument("need at least one measured interval");
+  }
+
+  MOBICACHE_RETURN_IF_ERROR(updates_->Start());
+  // Units start before the server so each unit's sleep decision for an
+  // interval is made before that interval's report can be delivered.
+  for (auto& unit : units_) {
+    MOBICACHE_RETURN_IF_ERROR(unit->Start());
+  }
+  MOBICACHE_RETURN_IF_ERROR(server_->Start());
+
+  const double L = config_.model.L;
+  // End runs just shy of an interval boundary so exactly the intended number
+  // of reports falls inside each phase.
+  const SimTime warmup_end =
+      static_cast<double>(warmup_intervals) * L + 0.5 * L;
+  sim_->RunUntil(warmup_end);
+  server_->ResetStats();
+  channel_->ResetStats();
+  if (registry_ != nullptr) registry_->ResetStats();
+  if (async_ != nullptr) async_->ResetStats();
+  for (auto& unit : units_) unit->ResetStats();
+
+  sim_->RunUntil(warmup_end + static_cast<double>(measure_intervals) * L);
+  server_->Stop();
+  updates_->Stop();
+  measure_intervals_ = measure_intervals;
+  ran_ = true;
+  return Status::OK();
+}
+
+CellResult Cell::result() const {
+  CellResult r;
+  uint64_t latency_samples = 0;
+  double latency_sum = 0.0;
+  for (const auto& unit : units_) {
+    const MobileUnitStats& st = unit->stats();
+    r.queries_answered += st.queries_answered;
+    r.hits += st.hits;
+    r.misses += st.misses;
+    r.reports_heard += st.reports_heard;
+    r.reports_missed += st.reports_missed;
+    r.items_invalidated += st.items_invalidated;
+    r.listen_seconds_total += st.listen_seconds;
+    latency_samples += st.answer_latency.count();
+    latency_sum += st.answer_latency.sum();
+  }
+  r.hit_ratio = r.queries_answered == 0
+                    ? 0.0
+                    : static_cast<double>(r.hits) /
+                          static_cast<double>(r.queries_answered);
+  r.mean_answer_latency =
+      latency_samples == 0 ? 0.0 : latency_sum / static_cast<double>(latency_samples);
+  r.reports_broadcast = server_->stats().reports_broadcast;
+  r.avg_report_bits = server_->stats().report_bits.mean();
+  if (async_ != nullptr && measure_intervals_ > 0) {
+    // Asynchronous mode has no periodic report; its per-interval broadcast
+    // cost is the invalidation-message traffic averaged over the run.
+    r.avg_report_bits = static_cast<double>(channel_->stats().report_bits) /
+                        static_cast<double>(measure_intervals_);
+  }
+  const uint64_t decisions = r.reports_heard + r.reports_missed;
+  r.measured_sleep_fraction =
+      decisions == 0 ? 0.0
+                     : static_cast<double>(r.reports_missed) /
+                           static_cast<double>(decisions);
+  r.channel = channel_->stats();
+
+  const StrategyEval eval = EvalFromMeasurements(config_.model, r.hit_ratio,
+                                                 r.avg_report_bits);
+  r.throughput = eval.throughput;
+  r.effectiveness = eval.effectiveness;
+  r.feasible = eval.feasible;
+  return r;
+}
+
+}  // namespace mobicache

@@ -1,0 +1,172 @@
+// Full-cell experiment assembly: one stationary server, its database and
+// Poisson update stream, the shared wireless channel, and a population of
+// mobile units running one invalidation strategy. This is the measurement
+// rig behind every simulated series in bench/ — it reports the measured hit
+// ratio and report size and pushes them through the paper's Eq. 9/10 to get
+// throughput and effectiveness directly comparable with the analytic model.
+
+#ifndef MOBICACHE_EXP_CELL_H_
+#define MOBICACHE_EXP_CELL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/model.h"
+#include "core/adaptive.h"
+#include "core/coherency.h"
+#include "core/stateful.h"
+#include "core/strategy.h"
+#include "db/database.h"
+#include "db/update_generator.h"
+#include "mu/mobile_unit.h"
+#include "net/channel.h"
+#include "net/delivery.h"
+#include "server/async_broadcaster.h"
+#include "server/server.h"
+#include "sig/signature.h"
+#include "sim/simulator.h"
+#include "util/status.h"
+
+namespace mobicache {
+
+struct CellConfig {
+  /// Workload parameters; reuses the analytic model's parameter block so an
+  /// analytic curve and a simulation are always configured identically.
+  ModelParams model;
+  StrategyKind strategy = StrategyKind::kTs;
+
+  uint64_t num_units = 20;
+  uint64_t hotspot_size = 20;
+  /// true: all units query the same hot spot (the paper's homogeneous-cell
+  /// picture); false: each unit gets an independent random hot spot.
+  bool shared_hotspot = true;
+  /// Explicit per-unit hot spots (e.g. grid neighbourhoods). When non-empty
+  /// it must have num_units entries of valid item ids and overrides
+  /// hotspot_size / shared_hotspot.
+  std::vector<std::vector<ItemId>> custom_hotspots;
+  size_t cache_capacity = 0;  ///< 0 = unbounded.
+  uint64_t seed = 1;
+
+  /// SIG: operating threshold K (detection requires K < ~1.58; see sig/).
+  double sig_k_threshold = 1.25;
+  /// SIG extension: per-item syndrome threshold (see SignatureParams).
+  bool sig_per_item_threshold = false;
+  double sig_gamma = 0.8;
+
+  /// Adaptive TS options (strategy == kAdaptiveTs).
+  AdaptiveTsOptions adaptive;
+
+  /// Grouped-report option (strategy == kGroupedAt): number of blocks G.
+  uint32_t num_groups = 32;
+
+  /// Hybrid-SIG option (strategy == kHybridSig): the individually-broadcast
+  /// hot set (sorted). Empty = the shared contiguous hot spot [0,
+  /// hotspot_size).
+  std::vector<ItemId> hybrid_hot_set;
+
+  /// Quasi-copy options (strategy == kQuasiAt).
+  uint64_t quasi_alpha_intervals = 4;   ///< Delay condition: alpha = j*L.
+  bool quasi_arithmetic = false;        ///< Use the arithmetic condition.
+  double quasi_epsilon = 1.0;           ///< Arithmetic tolerance.
+  double numeric_step_scale = 1.0;      ///< Random-walk step bound.
+
+  /// Report delivery substrate (§9).
+  DeliveryModelKind delivery = DeliveryModelKind::kIdealPeriodic;
+  double mean_jitter_seconds = 0.0;
+
+  /// Sleep-model extension: use renewal on/off periods instead of the
+  /// paper's per-interval Bernoulli(s).
+  bool renewal_sleep = false;
+  double mean_awake_seconds = 60.0;
+  double mean_sleep_seconds = 60.0;
+
+  /// Query-workload extension: Zipf exponent for popularity within each
+  /// unit's hot spot (0 = the paper's uniform model).
+  double query_zipf_theta = 0.0;
+
+  /// Update-workload extension: explicit per-item update rates (size n).
+  /// When non-empty this overrides the uniform rate model.mu; the weighted
+  /// and adaptive benches use it for hot/cold item mixes.
+  std::vector<double> update_rates;
+};
+
+struct CellResult {
+  // Measured quantities.
+  double hit_ratio = 0.0;
+  double avg_report_bits = 0.0;
+  uint64_t queries_answered = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  double mean_answer_latency = 0.0;
+  uint64_t reports_broadcast = 0;
+  uint64_t reports_heard = 0;
+  uint64_t reports_missed = 0;
+  double measured_sleep_fraction = 0.0;
+  uint64_t items_invalidated = 0;
+  double listen_seconds_total = 0.0;
+  ChannelStats channel;
+
+  // Derived through Eq. 9/10 from the measured hit ratio and report size.
+  double throughput = 0.0;
+  double effectiveness = 0.0;
+  bool feasible = true;
+};
+
+/// One self-contained cell simulation. Build once, run once.
+class Cell {
+ public:
+  explicit Cell(CellConfig config);
+  ~Cell();
+
+  Cell(const Cell&) = delete;
+  Cell& operator=(const Cell&) = delete;
+
+  /// Validates the configuration and constructs every component. Must be
+  /// called exactly once before Run().
+  Status Build();
+
+  /// Runs `warmup_intervals` intervals, resets all statistics, then runs
+  /// `measure_intervals` more and freezes the result.
+  Status Run(uint64_t warmup_intervals, uint64_t measure_intervals);
+
+  /// Result of the measurement phase; valid after Run().
+  CellResult result() const;
+
+  // Component access for tests and custom drivers.
+  Simulator* sim() { return sim_.get(); }
+  Database* db() { return db_.get(); }
+  Server* server() { return server_.get(); }
+  Channel* channel() { return channel_.get(); }
+  StatefulRegistry* registry() { return registry_.get(); }
+  AsyncBroadcaster* async_broadcaster() { return async_.get(); }
+  std::vector<MobileUnit*> units();
+  const CellConfig& config() const { return config_; }
+
+ private:
+  std::unique_ptr<ServerStrategy> MakeServerStrategy();
+  std::unique_ptr<ClientCacheManager> MakeClientManager(
+      const std::vector<ItemId>& hotspot);
+
+  CellConfig config_;
+  MessageSizes sizes_;
+  bool built_ = false;
+  bool ran_ = false;
+
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<UpdateGenerator> updates_;
+  std::unique_ptr<Channel> channel_;
+  std::unique_ptr<DeliveryModel> delivery_;
+  std::unique_ptr<SignatureFamily> family_;
+  std::unique_ptr<NumericWalk> walk_;
+  std::unique_ptr<StatefulRegistry> registry_;
+  std::unique_ptr<AsyncBroadcaster> async_;
+  std::unique_ptr<Server> server_;
+  uint64_t measure_intervals_ = 0;
+  std::vector<std::unique_ptr<MobileUnit>> units_;
+};
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_EXP_CELL_H_

@@ -1,0 +1,187 @@
+#include "exp/sweep.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/table.h"
+
+namespace mobicache {
+
+StrategyEval EvalStrategyModel(StrategyKind kind, const ModelParams& params) {
+  switch (kind) {
+    case StrategyKind::kTs:
+    case StrategyKind::kAdaptiveTs:
+      return EvalTs(params);
+    case StrategyKind::kAt:
+    case StrategyKind::kQuasiAt:
+    case StrategyKind::kAsync:  // equivalent cost/behaviour to AT (§3.2)
+      return EvalAt(params);
+    case StrategyKind::kGroupedAt:
+      // Per-group analytics need G; callers wanting them use EvalGroupedAt
+      // directly. The per-item AT model is the G = n limit.
+      return EvalAt(params);
+    case StrategyKind::kSig:
+    case StrategyKind::kHybridSig:  // approximate: cold-dominated workloads
+      return EvalSig(params);
+    case StrategyKind::kNoCache:
+      return EvalNoCache(params);
+    case StrategyKind::kIdeal:
+    case StrategyKind::kStateful: {
+      // The ideal strategy *defines* Tmax: effectiveness 1 at MHR.
+      StrategyEval eval;
+      eval.hit_ratio = MaximalHitRatio(params);
+      eval.report_bits = 0.0;
+      eval.throughput = MaxThroughput(params);
+      eval.effectiveness = 1.0;
+      return eval;
+    }
+  }
+  return StrategyEval{};
+}
+
+StatusOr<SweepResult> RunScenarioSweep(PaperScenario scenario,
+                                       const std::vector<StrategyKind>& kinds,
+                                       const SweepOptions& options) {
+  return RunScenarioSweepWithIdBits(scenario, kinds, options, /*id_bits=*/0);
+}
+
+StatusOr<SweepResult> RunScenarioSweepWithIdBits(
+    PaperScenario scenario, const std::vector<StrategyKind>& kinds,
+    const SweepOptions& options, uint64_t id_bits) {
+  if (options.points < 2) {
+    return Status::InvalidArgument("sweep needs at least 2 points");
+  }
+  SweepResult result;
+  result.scenario = scenario;
+  const ScenarioSweep spec = ScenarioSweepSpec(scenario);
+  result.sweeps_sleep = spec.sweeps_sleep;
+
+  for (int i = 0; i < options.points; ++i) {
+    const double x = spec.lo + (spec.hi - spec.lo) * static_cast<double>(i) /
+                                   static_cast<double>(options.points - 1);
+    result.xs.push_back(x);
+  }
+
+  for (StrategyKind kind : kinds) {
+    StrategySeries series;
+    series.kind = kind;
+    const bool analytic_only =
+        std::find(options.analytic_only.begin(), options.analytic_only.end(),
+                  kind) != options.analytic_only.end();
+    for (size_t i = 0; i < result.xs.size(); ++i) {
+      ModelParams params = ScenarioParams(scenario);
+      params.id_bits_override = id_bits;
+      if (spec.sweeps_sleep) {
+        params.s = result.xs[i];
+      } else {
+        params.mu = result.xs[i];
+      }
+      series.analytic.push_back(EvalStrategyModel(kind, params));
+
+      // Infeasible configurations (report larger than the interval's
+      // capacity, e.g. TS in Scenarios 3-4) are not simulated: the protocol
+      // cannot operate there, which is exactly why the paper omits them.
+      if (!options.simulate || analytic_only ||
+          !series.analytic.back().feasible) {
+        series.measured.emplace_back(std::nullopt);
+        continue;
+      }
+      CellConfig cc;
+      cc.model = params;
+      cc.strategy = kind;
+      cc.num_units = options.num_units;
+      cc.hotspot_size = options.hotspot_size;
+      cc.seed = options.seed + 1000003ULL * i +
+                7919ULL * static_cast<uint64_t>(kind);
+      Cell cell(cc);
+      MOBICACHE_RETURN_IF_ERROR(cell.Build());
+      MOBICACHE_RETURN_IF_ERROR(
+          cell.Run(options.warmup_intervals, options.measure_intervals));
+      series.measured.emplace_back(cell.result());
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
+void PrintSweepTables(const SweepResult& result, std::ostream& os) {
+  const std::string x_name = result.sweeps_sleep ? "s" : "mu";
+  bool has_sim = false;
+  for (const StrategySeries& s : result.series) {
+    for (const auto& m : s.measured) {
+      if (m.has_value()) has_sim = true;
+    }
+  }
+
+  auto build = [&](const char* what, auto analytic_of, auto measured_of) {
+    std::vector<std::string> header{x_name};
+    for (const StrategySeries& s : result.series) {
+      const std::string name(StrategyName(s.kind));
+      header.push_back(name + ".model");
+      if (has_sim) header.push_back(name + ".sim");
+    }
+    TablePrinter table(std::move(header));
+    for (size_t i = 0; i < result.xs.size(); ++i) {
+      std::vector<std::string> row{TablePrinter::Num(result.xs[i], 6)};
+      for (const StrategySeries& s : result.series) {
+        row.push_back(analytic_of(s.analytic[i]));
+        if (has_sim) {
+          row.push_back(s.measured[i].has_value()
+                            ? measured_of(*s.measured[i])
+                            : std::string("-"));
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    os << what << "\n";
+    table.RenderText(os);
+    os << "\n";
+  };
+
+  build(
+      "Effectiveness e = T / Tmax",
+      [](const StrategyEval& e) {
+        return e.feasible ? TablePrinter::Num(e.effectiveness)
+                          : std::string("infeasible");
+      },
+      [](const CellResult& r) {
+        return r.feasible ? TablePrinter::Num(r.effectiveness)
+                          : std::string("infeasible");
+      });
+  build(
+      "Hit ratio h",
+      [](const StrategyEval& e) { return TablePrinter::Num(e.hit_ratio); },
+      [](const CellResult& r) { return TablePrinter::Num(r.hit_ratio); });
+}
+
+void WriteSweepCsv(const SweepResult& result, std::ostream& os) {
+  std::vector<std::string> header{result.sweeps_sleep ? "s" : "mu"};
+  for (const StrategySeries& s : result.series) {
+    const std::string name(StrategyName(s.kind));
+    for (const char* metric : {"e", "h", "bc"}) {
+      header.push_back(name + ".model." + metric);
+      header.push_back(name + ".sim." + metric);
+    }
+  }
+  TablePrinter table(std::move(header));
+  for (size_t i = 0; i < result.xs.size(); ++i) {
+    std::vector<std::string> row{TablePrinter::Num(result.xs[i], 8)};
+    for (const StrategySeries& s : result.series) {
+      const StrategyEval& model = s.analytic[i];
+      const auto& sim = s.measured[i];
+      auto cell = [](bool ok, double v) {
+        return ok ? TablePrinter::Num(v, 8) : std::string();
+      };
+      row.push_back(cell(model.feasible, model.effectiveness));
+      row.push_back(cell(sim.has_value(), sim ? sim->effectiveness : 0));
+      row.push_back(cell(true, model.hit_ratio));
+      row.push_back(cell(sim.has_value(), sim ? sim->hit_ratio : 0));
+      row.push_back(cell(true, model.report_bits));
+      row.push_back(cell(sim.has_value(), sim ? sim->avg_report_bits : 0));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.RenderCsv(os);
+}
+
+}  // namespace mobicache

@@ -1,0 +1,76 @@
+// Scenario sweep driver: evaluates a set of strategies across a paper
+// scenario's sweep range (sleep probability s, or update rate mu), producing
+// the analytic series (the paper's curves) and, optionally, the matching
+// discrete-event-simulated series at the same parameters.
+
+#ifndef MOBICACHE_EXP_SWEEP_H_
+#define MOBICACHE_EXP_SWEEP_H_
+
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "analysis/model.h"
+#include "analysis/scenarios.h"
+#include "core/strategy.h"
+#include "exp/cell.h"
+#include "util/status.h"
+
+namespace mobicache {
+
+struct SweepOptions {
+  int points = 11;
+  uint64_t warmup_intervals = 50;
+  uint64_t measure_intervals = 400;
+  uint64_t num_units = 20;
+  uint64_t hotspot_size = 20;
+  uint64_t seed = 42;
+  bool simulate = true;  ///< false: analytic-only (fast).
+  /// Strategies to evaluate analytically but never simulate (used where a
+  /// full-scale simulation is impractical or the protocol cannot operate,
+  /// e.g. SIG under Scenario 4's 10^5 updates/s).
+  std::vector<StrategyKind> analytic_only;
+};
+
+struct StrategySeries {
+  StrategyKind kind;
+  std::vector<StrategyEval> analytic;            ///< One per sweep point.
+  std::vector<std::optional<CellResult>> measured;  ///< Empty if !simulate.
+};
+
+struct SweepResult {
+  PaperScenario scenario;
+  bool sweeps_sleep = true;
+  std::vector<double> xs;
+  std::vector<StrategySeries> series;
+};
+
+/// Runs the sweep. Strategies without an analytic formula (adaptive, quasi,
+/// stateful) get analytic entries computed from the closest base model (TS
+/// for adaptive, AT for quasi, ideal for stateful) — benches that need exact
+/// analytics should stick to kTs/kAt/kSig/kNoCache.
+StatusOr<SweepResult> RunScenarioSweep(PaperScenario scenario,
+                                       const std::vector<StrategyKind>& kinds,
+                                       const SweepOptions& options);
+
+/// Same sweep with a fixed item-identifier width (see
+/// ModelParams::id_bits_override); used to reproduce the paper's
+/// natural-log reading of "log(n)" in the report-size formulas.
+StatusOr<SweepResult> RunScenarioSweepWithIdBits(
+    PaperScenario scenario, const std::vector<StrategyKind>& kinds,
+    const SweepOptions& options, uint64_t id_bits);
+
+/// Analytic evaluation dispatch used by the sweep (exposed for benches).
+StrategyEval EvalStrategyModel(StrategyKind kind, const ModelParams& params);
+
+/// Prints the effectiveness table (one row per sweep point; model and, when
+/// present, simulated columns per strategy), then the hit-ratio table.
+void PrintSweepTables(const SweepResult& result, std::ostream& os);
+
+/// Emits the full sweep (effectiveness, hit ratio, report bits; model and
+/// simulated) as one machine-readable CSV for plotting.
+void WriteSweepCsv(const SweepResult& result, std::ostream& os);
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_EXP_SWEEP_H_

@@ -1,0 +1,34 @@
+// Hot-spot construction: the subset of the database a mobile unit queries
+// with high locality (§2). The paper's model gives every MU a fixed hot spot
+// queried at rate lambda per item; the factories here build the common
+// shapes (contiguous block, random subset, and the moving grid neighbourhood
+// of the traffic-map example).
+
+#ifndef MOBICACHE_MU_HOTSPOT_H_
+#define MOBICACHE_MU_HOTSPOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/database.h"
+#include "util/random.h"
+
+namespace mobicache {
+
+/// `size` consecutive items starting at `start` (wrapping modulo `n`).
+std::vector<ItemId> ContiguousHotSpot(uint64_t n, uint64_t start,
+                                      uint64_t size);
+
+/// `size` distinct items sampled uniformly from [0, n).
+std::vector<ItemId> RandomHotSpot(uint64_t n, uint64_t size, Rng& rng);
+
+/// Grid neighbourhood for map-like databases (Example 2 of the paper): the
+/// database is a `width` x `height` grid of sections in row-major order; the
+/// hot spot is the (2r+1)^2 block centred on (x, y), clipped at the borders.
+std::vector<ItemId> GridNeighborhoodHotSpot(uint64_t width, uint64_t height,
+                                            uint64_t x, uint64_t y,
+                                            uint64_t radius);
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_MU_HOTSPOT_H_

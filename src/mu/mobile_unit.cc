@@ -1,0 +1,171 @@
+#include "mu/mobile_unit.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mobicache {
+
+MobileUnit::MobileUnit(Simulator* sim, MobileUnitConfig config,
+                       std::unique_ptr<ClientCacheManager> manager,
+                       std::unique_ptr<SleepModel> sleep,
+                       UplinkService* uplink, uint64_t seed)
+    : sim_(sim),
+      config_(std::move(config)),
+      manager_(std::move(manager)),
+      sleep_(std::move(sleep)),
+      uplink_(uplink),
+      rng_(seed),
+      cache_(config_.cache_capacity) {
+  assert(config_.latency > 0.0);
+  assert(!config_.hotspot.empty());
+  assert(config_.lambda_per_item >= 0.0);
+  total_query_rate_ =
+      config_.lambda_per_item * static_cast<double>(config_.hotspot.size());
+  if (config_.query_zipf_theta > 0.0) {
+    query_zipf_ = std::make_unique<ZipfDistribution>(
+        config_.hotspot.size(), config_.query_zipf_theta);
+  }
+}
+
+Status MobileUnit::Start() {
+  if (ticker_ != nullptr) {
+    return Status::FailedPrecondition("mobile unit already started");
+  }
+  ticker_ = std::make_unique<PeriodicProcess>(
+      sim_, sim_->Now(), config_.latency,
+      [this](uint64_t interval) { OnIntervalTick(interval); });
+  return ticker_->Start();
+}
+
+void MobileUnit::BindStatefulRegistry(StatefulRegistry* registry,
+                                      bool drop_cache_on_wake) {
+  registry_ = registry;
+  drop_cache_on_wake_ = drop_cache_on_wake;
+  registry_id_ = registry->RegisterClient(
+      [this](ItemId id) { ServerInvalidate(id); },
+      [this]() { return awake_; });
+}
+
+void MobileUnit::ServerInvalidate(ItemId id) { cache_.Erase(id); }
+
+void MobileUnit::OnIntervalTick(uint64_t interval) {
+  const bool awake_now = sleep_->AwakeForInterval(interval);
+
+  if (ever_decided_) {
+    if (awake_now && !awake_) {
+      if (registry_ != nullptr) registry_->OnClientWake(registry_id_);
+      if (drop_cache_on_wake_) cache_.Clear();
+    } else if (!awake_now && awake_) {
+      if (registry_ != nullptr) registry_->OnClientSleep(registry_id_);
+    }
+  }
+  awake_ = awake_now;
+  ever_decided_ = true;
+
+  // Seal the previous interval's arrivals: they may be answered by the
+  // report of this interval (index `interval`) or any later one; anything
+  // arriving from here on must wait for the next report.
+  if (!arriving_.empty()) {
+    pending_groups_.push_back(SealedGroup{interval, std::move(arriving_)});
+    arriving_.clear();
+  }
+
+  if (awake_) {
+    // The user poses queries throughout the interval, independent of when
+    // (or whether) the report physically lands.
+    ScheduleNextArrival(sim_->Now() + config_.latency);
+  }
+}
+
+void MobileUnit::OnBroadcast(const Report& report, double listen_seconds) {
+  if (!awake_) {
+    ++stats_.reports_missed;
+    return;
+  }
+  ++stats_.reports_heard;
+  stats_.listen_seconds += listen_seconds;
+
+  if (config_.answer_immediately) return;  // stateful modes ignore reports
+
+  stats_.items_invalidated += manager_->OnReport(report, &cache_);
+  // Answer every sealed group this report's snapshot covers, merging
+  // same-item batches across groups (they share one answer and at most one
+  // uplink request).
+  const SimTime validity_ts = ReportTimestamp(report);
+  const uint64_t interval = ReportInterval(report);
+  std::map<ItemId, SimTime> eligible;
+  while (!pending_groups_.empty() &&
+         pending_groups_.front().answerable_from <= interval) {
+    for (const auto& [id, first] : pending_groups_.front().batches) {
+      auto [it, inserted] = eligible.emplace(id, first);
+      if (!inserted && first < it->second) it->second = first;
+    }
+    pending_groups_.pop_front();
+  }
+  for (const auto& [id, first_issued] : eligible) {
+    AnswerBatch(id, first_issued, validity_ts);
+  }
+}
+
+void MobileUnit::ScheduleNextArrival(SimTime interval_end) {
+  if (total_query_rate_ <= 0.0) return;
+  const SimTime next = sim_->Now() + rng_.Exponential(total_query_rate_);
+  if (next >= interval_end) return;  // no more arrivals this interval
+  sim_->ScheduleAt(next,
+                   [this, interval_end] { OnQueryArrival(interval_end); });
+}
+
+void MobileUnit::OnQueryArrival(SimTime interval_end) {
+  const ItemId item =
+      config_.hotspot[query_zipf_ != nullptr
+                          ? query_zipf_->Sample(rng_)
+                          : rng_.NextUint64(config_.hotspot.size())];
+  ++stats_.queries_issued;
+  if (config_.answer_immediately) {
+    AnswerBatch(item, sim_->Now(), sim_->Now());
+  } else {
+    arriving_.emplace(item, sim_->Now());  // keeps the first arrival time
+  }
+  ScheduleNextArrival(interval_end);
+}
+
+void MobileUnit::AnswerBatch(ItemId id, SimTime first_issued,
+                             SimTime validity_ts) {
+  const SimTime now = sim_->Now();
+  uint64_t value = 0;
+  bool hit = false;
+
+  if (manager_->CanAnswerFromCache(id, now, cache_)) {
+    const CacheEntry* entry = cache_.Get(id);
+    if (entry != nullptr) {
+      value = entry->value;
+      hit = true;
+      manager_->OnLocalHit(id, now);
+    }
+  }
+
+  if (!hit) {
+    UplinkQueryInfo info;
+    info.id = id;
+    info.time = now;
+    info.client_id = config_.unit_id;
+    info.local_hit_times = manager_->TakePiggyback(id);
+    const UplinkService::FetchResult result = uplink_->FetchItem(info);
+    value = result.value;
+    manager_->OnUplinkFetch(id, result.value, result.server_time, &cache_);
+    if (registry_ != nullptr && cache_.Contains(id)) {
+      registry_->OnClientCached(registry_id_, id);
+    }
+  }
+
+  ++stats_.queries_answered;
+  if (hit) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  stats_.answer_latency.Add(now - first_issued);
+  if (answer_observer_) answer_observer_(id, value, validity_ts, hit);
+}
+
+}  // namespace mobicache

@@ -1,0 +1,60 @@
+#include "mu/sleep_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mobicache {
+
+BernoulliSleepModel::BernoulliSleepModel(double sleep_probability,
+                                         uint64_t seed)
+    : s_(sleep_probability), rng_(seed) {
+  assert(sleep_probability >= 0.0 && sleep_probability <= 1.0);
+}
+
+bool BernoulliSleepModel::AwakeForInterval(uint64_t interval) {
+  (void)interval;
+  return !rng_.Bernoulli(s_);
+}
+
+RenewalSleepModel::RenewalSleepModel(SimTime latency, double mean_awake,
+                                     double mean_sleep, uint64_t seed)
+    : latency_(latency),
+      mean_awake_(mean_awake),
+      mean_sleep_(mean_sleep),
+      rng_(seed) {
+  assert(latency > 0.0);
+  assert(mean_awake > 0.0);
+  assert(mean_sleep > 0.0);
+  next_transition_ = rng_.Exponential(1.0 / mean_awake_);
+}
+
+void RenewalSleepModel::AdvanceTo(SimTime t) {
+  while (next_transition_ < t) {
+    clock_ = next_transition_;
+    awake_ = !awake_;
+    const double mean = awake_ ? mean_awake_ : mean_sleep_;
+    next_transition_ = clock_ + rng_.Exponential(1.0 / mean);
+  }
+  clock_ = t;
+}
+
+bool RenewalSleepModel::AwakeForInterval(uint64_t interval) {
+  assert(interval == next_interval_ && "intervals must be consumed in order");
+  ++next_interval_;
+  const SimTime start = latency_ * static_cast<double>(interval);
+  const SimTime end = start + latency_;
+  AdvanceTo(start);
+  // Awake for the whole interval iff currently awake and the next flip (to
+  // sleep) lands at or beyond the interval end.
+  return awake_ && next_transition_ >= end;
+}
+
+double RenewalSleepModel::EffectiveSleepProbability() const {
+  // Stationary probability of being awake at an instant times the chance the
+  // residual awake period covers a full interval (memoryless residual).
+  const double p_awake = mean_awake_ / (mean_awake_ + mean_sleep_);
+  const double p_cover = std::exp(-latency_ / mean_awake_);
+  return 1.0 - p_awake * p_cover;
+}
+
+}  // namespace mobicache

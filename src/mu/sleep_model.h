@@ -1,0 +1,78 @@
+// Sleep/wake processes for mobile units. The paper's model makes each unit
+// sleep through a whole broadcast interval with probability s, independently
+// per interval (§4). The renewal model is an extension used to probe the
+// robustness of the analysis: awake and sleep periods are exponential with
+// configurable means, and the unit counts as awake for an interval only if
+// it is awake for the entire interval (it must hear the whole report and be
+// listening continuously, per the always-listening assumption of §3).
+
+#ifndef MOBICACHE_MU_SLEEP_MODEL_H_
+#define MOBICACHE_MU_SLEEP_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace mobicache {
+
+/// Decides, interval by interval, whether the unit is awake. Implementations
+/// must be consulted once per interval, in increasing interval order.
+class SleepModel {
+ public:
+  virtual ~SleepModel() = default;
+
+  /// Whether the unit is awake for the whole interval `interval` (the one
+  /// starting at T_interval).
+  virtual bool AwakeForInterval(uint64_t interval) = 0;
+
+  /// Long-run fraction of intervals spent asleep (the model's "s").
+  virtual double EffectiveSleepProbability() const = 0;
+};
+
+/// The paper's i.i.d. per-interval model: asleep with probability s.
+class BernoulliSleepModel : public SleepModel {
+ public:
+  BernoulliSleepModel(double sleep_probability, uint64_t seed);
+
+  bool AwakeForInterval(uint64_t interval) override;
+  double EffectiveSleepProbability() const override { return s_; }
+
+ private:
+  double s_;
+  Rng rng_;
+};
+
+/// Renewal on/off extension: alternating exponential awake/sleep periods.
+/// Awake-for-interval requires the unit to be awake throughout [T_i, T_i+L).
+class RenewalSleepModel : public SleepModel {
+ public:
+  /// `latency` is the broadcast interval L; `mean_awake`/`mean_sleep` are the
+  /// mean period durations in seconds (both > 0).
+  RenewalSleepModel(SimTime latency, double mean_awake, double mean_sleep,
+                    uint64_t seed);
+
+  bool AwakeForInterval(uint64_t interval) override;
+
+  /// Probability that a whole interval contains no sleep time, estimated
+  /// from the stationary renewal process (used to pick comparable s values):
+  /// P(awake at start) * P(residual awake >= L).
+  double EffectiveSleepProbability() const override;
+
+ private:
+  void AdvanceTo(SimTime t);
+
+  SimTime latency_;
+  double mean_awake_;
+  double mean_sleep_;
+  Rng rng_;
+  bool awake_ = true;
+  SimTime clock_ = 0.0;            // process time consumed so far
+  SimTime next_transition_ = 0.0;  // absolute time of the next state flip
+  uint64_t next_interval_ = 0;     // next interval index expected
+};
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_MU_SLEEP_MODEL_H_

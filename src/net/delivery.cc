@@ -1,0 +1,48 @@
+#include "net/delivery.h"
+
+#include <cassert>
+
+namespace mobicache {
+
+const char* DeliveryModelName(DeliveryModelKind kind) {
+  switch (kind) {
+    case DeliveryModelKind::kIdealPeriodic:
+      return "ideal";
+    case DeliveryModelKind::kMulticast:
+      return "multicast";
+    case DeliveryModelKind::kCsmaJitter:
+      return "csma";
+  }
+  return "unknown";
+}
+
+DeliveryModel::DeliveryModel(DeliveryModelKind kind, double mean_jitter,
+                             uint64_t seed)
+    : kind_(kind), mean_jitter_(mean_jitter), rng_(seed) {
+  assert(mean_jitter >= 0.0);
+}
+
+double DeliveryModel::SampleJitter() {
+  if (kind_ == DeliveryModelKind::kIdealPeriodic || mean_jitter_ <= 0.0) {
+    return 0.0;
+  }
+  return rng_.Exponential(1.0 / mean_jitter_);
+}
+
+double DeliveryModel::ListenSeconds(double jitter, double duration) const {
+  switch (kind_) {
+    case DeliveryModelKind::kIdealPeriodic:
+      // Wakes exactly at T_i; the report starts immediately.
+      return duration;
+    case DeliveryModelKind::kMulticast:
+      // The radio filters on the multicast address in doze mode; the CPU is
+      // active only while the report is on the air.
+      return duration;
+    case DeliveryModelKind::kCsmaJitter:
+      // Must listen through the contention delay as well.
+      return jitter + duration;
+  }
+  return duration;
+}
+
+}  // namespace mobicache

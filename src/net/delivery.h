@@ -1,0 +1,63 @@
+// Network-environment models for report delivery (paper §9). The report
+// concept is orthogonal to the underlying network; what changes is how the
+// report is *addressed* and how precisely its timing can be controlled:
+//
+//  * kIdealPeriodic  — MAC with reservation (PRMA / MACAW): the report goes
+//    out exactly at T_i; a time-synchronized client wakes from doze just in
+//    time and listens only for the report itself.
+//  * kMulticast      — CSMA/CD or CDPD with a multicast report address: the
+//    report is delayed by random contention jitter, but the radio filters on
+//    the multicast address in doze mode, so the client's CPU is only woken
+//    for the report; no time synchronization is needed.
+//  * kCsmaJitter     — same contention jitter but no multicast filtering:
+//    the client must actively listen from T_i until the report arrives,
+//    paying the jitter as awake-listening energy.
+
+#ifndef MOBICACHE_NET_DELIVERY_H_
+#define MOBICACHE_NET_DELIVERY_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace mobicache {
+
+enum class DeliveryModelKind { kIdealPeriodic, kMulticast, kCsmaJitter };
+
+/// Returns a short stable name ("ideal", "multicast", "csma").
+const char* DeliveryModelName(DeliveryModelKind kind);
+
+/// Samples per-report delivery jitter and charges client listen energy.
+class DeliveryModel {
+ public:
+  /// `mean_jitter` is the mean contention delay in seconds (ignored for
+  /// kIdealPeriodic; must be >= 0).
+  DeliveryModel(DeliveryModelKind kind, double mean_jitter, uint64_t seed);
+
+  /// Delay between the nominal broadcast instant T_i and the moment the
+  /// report actually starts transmitting. Exponentially distributed with the
+  /// configured mean; identically 0 for kIdealPeriodic.
+  double SampleJitter();
+
+  /// Seconds of active listening a client spends to receive a report that
+  /// was jittered by `jitter` and lasts `duration` seconds on air.
+  double ListenSeconds(double jitter, double duration) const;
+
+  /// Whether clients must run clock synchronization to use doze mode.
+  bool RequiresTimeSync() const {
+    return kind_ == DeliveryModelKind::kIdealPeriodic;
+  }
+
+  DeliveryModelKind kind() const { return kind_; }
+  double mean_jitter() const { return mean_jitter_; }
+
+ private:
+  DeliveryModelKind kind_;
+  double mean_jitter_;
+  Rng rng_;
+};
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_NET_DELIVERY_H_

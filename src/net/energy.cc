@@ -1,0 +1,24 @@
+#include "net/energy.h"
+
+#include <algorithm>
+
+namespace mobicache {
+
+EnergyBreakdown ComputeClientEnergy(const EnergyModel& model,
+                                    double listen_seconds, double tx_seconds,
+                                    double awake_seconds,
+                                    double total_seconds) {
+  EnergyBreakdown out;
+  listen_seconds = std::max(0.0, listen_seconds);
+  tx_seconds = std::max(0.0, tx_seconds);
+  const double idle_seconds =
+      std::max(0.0, awake_seconds - listen_seconds - tx_seconds);
+  const double doze_seconds = std::max(0.0, total_seconds - awake_seconds);
+  out.listen_joules = listen_seconds * model.rx_watts;
+  out.tx_joules = tx_seconds * model.tx_watts;
+  out.idle_awake_joules = idle_seconds * model.idle_awake_watts;
+  out.doze_joules = doze_seconds * model.doze_watts;
+  return out;
+}
+
+}  // namespace mobicache

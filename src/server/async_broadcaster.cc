@@ -1,0 +1,25 @@
+#include "server/async_broadcaster.h"
+
+namespace mobicache {
+
+AsyncBroadcaster::AsyncBroadcaster(Simulator* sim, Channel* channel,
+                                   MessageSizes sizes)
+    : sim_(sim), channel_(channel), sizes_(sizes) {
+  (void)sim_;
+}
+
+void AsyncBroadcaster::OnUpdate(ItemId id, SimTime now) {
+  (void)now;
+  // One broadcast message carries the item identifier; it reaches every
+  // awake unit in the cell at once (broadcast, not per-client).
+  channel_->Transmit(sizes_.id_bits, TrafficClass::kReport);
+  ++messages_broadcast_;
+  for (MobileUnit* unit : units_) {
+    if (unit->awake()) {
+      unit->PushInvalidate(id);
+      ++deliveries_;
+    }
+  }
+}
+
+}  // namespace mobicache

@@ -1,0 +1,61 @@
+// Asynchronous invalidation broadcast (§2/§3.2): the server broadcasts an
+// invalidation message the moment an item changes, instead of batching
+// changes into periodic reports. Awake units drop the mentioned item; a
+// unit that slept has no way to know what it missed and must discard its
+// whole cache upon waking.
+//
+// The paper argues AT is *equivalent* to this mode — same total identifiers
+// downlink, same total cache loss on disconnection — with AT merely
+// grouping the messages (often saving packet framing). The async_vs_at
+// bench and the integration tests check that equivalence empirically.
+
+#ifndef MOBICACHE_SERVER_ASYNC_BROADCASTER_H_
+#define MOBICACHE_SERVER_ASYNC_BROADCASTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/database.h"
+#include "mu/mobile_unit.h"
+#include "net/channel.h"
+#include "sim/simulator.h"
+
+namespace mobicache {
+
+class AsyncBroadcaster {
+ public:
+  AsyncBroadcaster(Simulator* sim, Channel* channel, MessageSizes sizes);
+
+  AsyncBroadcaster(const AsyncBroadcaster&) = delete;
+  AsyncBroadcaster& operator=(const AsyncBroadcaster&) = delete;
+
+  /// Subscribes a unit; it should run with SetDropCacheOnWake(true) and
+  /// answer_immediately (no reports to wait for).
+  void AttachUnit(MobileUnit* unit) { units_.push_back(unit); }
+
+  /// Reacts to one database update: broadcasts one id-sized invalidation
+  /// message and delivers it to every awake unit. Wire via
+  /// db->SetUpdateObserver.
+  void OnUpdate(ItemId id, SimTime now);
+
+  uint64_t messages_broadcast() const { return messages_broadcast_; }
+  uint64_t deliveries() const { return deliveries_; }
+
+  /// Zeroes the counters (used after warm-up).
+  void ResetStats() {
+    messages_broadcast_ = 0;
+    deliveries_ = 0;
+  }
+
+ private:
+  Simulator* sim_;
+  Channel* channel_;
+  MessageSizes sizes_;
+  std::vector<MobileUnit*> units_;
+  uint64_t messages_broadcast_ = 0;
+  uint64_t deliveries_ = 0;
+};
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_SERVER_ASYNC_BROADCASTER_H_

@@ -1,0 +1,93 @@
+#include "server/server.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mobicache {
+
+Server::Server(Simulator* sim, Database* db, Channel* channel,
+               std::unique_ptr<ServerStrategy> strategy,
+               DeliveryModel* delivery, ServerConfig config)
+    : sim_(sim),
+      db_(db),
+      channel_(channel),
+      strategy_(std::move(strategy)),
+      delivery_(delivery),
+      config_(config) {
+  assert(config_.latency > 0.0);
+}
+
+Server::~Server() { Stop(); }
+
+void Server::AttachUnit(MobileUnit* unit) {
+  assert(broadcaster_ == nullptr && "attach units before Start()");
+  units_.push_back(unit);
+}
+
+Status Server::Start() {
+  if (broadcaster_ != nullptr) {
+    return Status::FailedPrecondition("server already started");
+  }
+  broadcaster_ = std::make_unique<PeriodicProcess>(
+      sim_, sim_->Now(), config_.latency,
+      [this](uint64_t interval) { Broadcast(interval); });
+  return broadcaster_->Start();
+}
+
+void Server::Stop() {
+  if (broadcaster_ != nullptr) broadcaster_->Stop();
+}
+
+void Server::Broadcast(uint64_t interval) {
+  const SimTime now = sim_->Now();
+  Report report = strategy_->BuildReport(now, interval);
+  const uint64_t bits = ReportSizeBits(report, config_.sizes);
+
+  ++stats_.reports_broadcast;
+  stats_.report_bits.Add(static_cast<double>(bits));
+  stats_.report_air_seconds.Add(channel_->Duration(bits));
+
+  // Keep as much journal as the strategy's window needs, plus slack.
+  const SimTime horizon =
+      strategy_->JournalHorizonSeconds() +
+      config_.latency * static_cast<double>(config_.journal_slack_intervals);
+  if (now > horizon) db_->PruneJournalBefore(now - horizon);
+
+  const double jitter = delivery_ == nullptr ? 0.0 : delivery_->SampleJitter();
+  if (jitter <= 0.0) {
+    Deliver(report, 0.0);
+  } else {
+    sim_->ScheduleAfter(jitter, [this, report = std::move(report), jitter] {
+      Deliver(report, jitter);
+    });
+  }
+}
+
+void Server::Deliver(const Report& report, double jitter) {
+  const uint64_t bits = ReportSizeBits(report, config_.sizes);
+  // The server owns the downlink schedule: the report claims the head of
+  // the interval rather than queueing behind pending query traffic.
+  const SimTime done =
+      channel_->Transmit(bits, TrafficClass::kReport, /*preempt=*/true);
+  const double duration = channel_->Duration(bits);
+  const double listen =
+      delivery_ == nullptr ? duration
+                           : delivery_->ListenSeconds(jitter, duration);
+  // Units consume the report when its transmission completes.
+  sim_->ScheduleAt(done, [this, report, listen] {
+    if (report_observer_) report_observer_(report);
+    for (MobileUnit* unit : units_) unit->OnBroadcast(report, listen);
+  });
+}
+
+UplinkService::FetchResult Server::FetchItem(const UplinkQueryInfo& info) {
+  assert(info.id < db_->size());
+  strategy_->OnUplinkQuery(info);
+  const uint64_t extra = strategy_->UplinkExtraBits(info);
+  channel_->Transmit(config_.sizes.bq + extra, TrafficClass::kUplinkQuery);
+  channel_->Transmit(config_.sizes.ba, TrafficClass::kDownlinkAnswer);
+  ++stats_.uplink_queries_served;
+  return FetchResult{db_->Get(info.id).value, sim_->Now()};
+}
+
+}  // namespace mobicache

@@ -1,0 +1,94 @@
+// The stationary data server of one cell (the MSS-attached server of §1-§2):
+// owns the broadcast schedule, builds reports through its ServerStrategy,
+// transmits them on the shared channel (optionally through a §9 delivery
+// model with contention jitter), and serves uplink cache-miss queries.
+
+#ifndef MOBICACHE_SERVER_SERVER_H_
+#define MOBICACHE_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/report.h"
+#include "core/strategy.h"
+#include "db/database.h"
+#include "mu/mobile_unit.h"
+#include "mu/uplink_service.h"
+#include "net/channel.h"
+#include "net/delivery.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace mobicache {
+
+struct ServerConfig {
+  SimTime latency = 10.0;  ///< L: broadcast period in seconds.
+  MessageSizes sizes;      ///< Bit costs of the message vocabulary.
+  /// Extra journal history retained beyond the strategy's horizon, in
+  /// intervals (safety margin for observers).
+  uint64_t journal_slack_intervals = 2;
+};
+
+struct ServerStats {
+  uint64_t reports_broadcast = 0;
+  uint64_t uplink_queries_served = 0;
+  OnlineStats report_bits;       ///< Per-report size distribution (Bc).
+  OnlineStats report_air_seconds;///< Per-report airtime.
+};
+
+class Server : public UplinkService {
+ public:
+  /// `delivery` may be null, meaning ideal periodic timing with zero jitter.
+  Server(Simulator* sim, Database* db, Channel* channel,
+         std::unique_ptr<ServerStrategy> strategy, DeliveryModel* delivery,
+         ServerConfig config);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server() override;
+
+  /// Subscribes a unit to the broadcast. Units must outlive the server's
+  /// run. Call before Start().
+  void AttachUnit(MobileUnit* unit);
+
+  /// Schedules periodic broadcasts at T_i = i*L starting at the current
+  /// simulation time.
+  Status Start();
+  void Stop();
+
+  FetchResult FetchItem(const UplinkQueryInfo& info) override;
+
+  /// Invoked for every report when its transmission completes, before any
+  /// unit processes it. Tests use this to snapshot ground truth at T_i.
+  void SetReportObserver(std::function<void(const Report&)> observer) {
+    report_observer_ = std::move(observer);
+  }
+
+  /// Zeroes the accumulated statistics (used after warm-up).
+  void ResetStats() { stats_ = ServerStats(); }
+
+  ServerStrategy* strategy() { return strategy_.get(); }
+  const ServerStats& stats() const { return stats_; }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  void Broadcast(uint64_t interval);
+  void Deliver(const Report& report, double jitter);
+
+  Simulator* sim_;
+  Database* db_;
+  Channel* channel_;
+  std::unique_ptr<ServerStrategy> strategy_;
+  DeliveryModel* delivery_;
+  ServerConfig config_;
+  std::vector<MobileUnit*> units_;
+  std::unique_ptr<PeriodicProcess> broadcaster_;
+  ServerStats stats_;
+  std::function<void(const Report&)> report_observer_;
+};
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_SERVER_SERVER_H_

@@ -1,0 +1,187 @@
+#include "sig/signature.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/random.h"
+
+namespace mobicache {
+
+double SubsetMembershipProbability(uint32_t f) {
+  assert(f >= 1);
+  return 1.0 / (static_cast<double>(f) + 1.0);
+}
+
+double ValidItemMismatchProbability(uint32_t f, uint32_t g) {
+  const double q = SubsetMembershipProbability(f);
+  const double sig_collision = std::pow(2.0, -static_cast<double>(g));
+  // Eq. 21: member * (some changed item in the set and its signature shows)
+  return q * (1.0 - std::pow(1.0 - q, static_cast<double>(f))) *
+         (1.0 - sig_collision);
+}
+
+double FalseAlarmProbabilityBound(uint32_t m, uint32_t f, uint32_t g,
+                                  double k_threshold) {
+  const double p = ValidItemMismatchProbability(f, g);
+  const double km1 = k_threshold - 1.0;
+  // Eq. 22 (Chernoff): Pr[X > K m p] <= exp(-(K-1)^2 m p / 3).
+  return std::exp(-km1 * km1 * static_cast<double>(m) * p / 3.0);
+}
+
+uint32_t RequiredSignatures(uint64_t n, uint32_t f, uint32_t g, double delta,
+                            double k_threshold) {
+  assert(n >= 1);
+  assert(delta > 0.0 && delta < 1.0);
+  assert(k_threshold > 1.0);
+  const double p = ValidItemMismatchProbability(f, g);
+  const double km1 = k_threshold - 1.0;
+  // Eq. 23: m >= 3 (ln(1/delta) + ln(n)) / (p (K-1)^2).
+  const double m = 3.0 *
+                   (std::log(1.0 / delta) + std::log(static_cast<double>(n))) /
+                   (p * km1 * km1);
+  return static_cast<uint32_t>(std::ceil(m));
+}
+
+uint32_t PaperRequiredSignatures(uint64_t n, uint32_t f, double delta) {
+  assert(n >= 1);
+  assert(delta > 0.0 && delta < 1.0);
+  // Eq. 24: m >= 6 (f+1) (ln(1/delta) + ln(n)).
+  const double m = 6.0 * (static_cast<double>(f) + 1.0) *
+                   (std::log(1.0 / delta) + std::log(static_cast<double>(n)));
+  return static_cast<uint32_t>(std::ceil(m));
+}
+
+SignatureFamily::SignatureFamily(uint64_t n, SignatureParams params,
+                                 uint64_t seed)
+    : n_(n), params_(params), seed_(seed) {
+  assert(n >= 1);
+  assert(params_.m >= 1);
+  assert(params_.f >= 1);
+  assert(params_.g >= 1 && params_.g <= 64);
+  sig_mask_ = params_.g == 64 ? ~0ULL : ((1ULL << params_.g) - 1);
+  member_prob_ = SubsetMembershipProbability(params_.f);
+  log1m_member_ = std::log1p(-member_prob_);
+}
+
+uint64_t SignatureFamily::ItemSignature(uint64_t value) const {
+  uint64_t state = value ^ seed_ ^ 0xA5A5A5A55A5A5A5AULL;
+  return SplitMix64(&state) & sig_mask_;
+}
+
+std::vector<uint32_t> SignatureFamily::SubsetsOf(ItemId item) const {
+  // Geometric skipping over subset indices: each subset contains `item`
+  // independently with probability 1/(f+1); the gap between consecutive
+  // member indices is geometric. The stream is a pure function of
+  // (seed, item), so all parties agree on the family without communication.
+  std::vector<uint32_t> out;
+  out.reserve(static_cast<size_t>(member_prob_ * params_.m * 1.5) + 4);
+  uint64_t state = seed_ ^ (0x6C62272E07BB0142ULL * (item + 1));
+  double j = -1.0;
+  while (true) {
+    // u in (0, 1]: avoids log(0).
+    const double u =
+        (static_cast<double>(SplitMix64(&state) >> 11) + 1.0) * 0x1.0p-53;
+    j += 1.0 + std::floor(std::log(u) / log1m_member_);
+    if (j >= static_cast<double>(params_.m)) break;
+    out.push_back(static_cast<uint32_t>(j));
+  }
+  return out;
+}
+
+bool SignatureFamily::Contains(uint32_t subset, ItemId item) const {
+  const std::vector<uint32_t> subsets = SubsetsOf(item);
+  return std::binary_search(subsets.begin(), subsets.end(), subset);
+}
+
+double SignatureFamily::MismatchThreshold() const {
+  const double p = ValidItemMismatchProbability(params_.f, params_.g);
+  return params_.k_threshold * p * static_cast<double>(params_.m);
+}
+
+ServerSignatureState::ServerSignatureState(const SignatureFamily* family,
+                                           const Database* db,
+                                           const std::vector<ItemId>* excluded)
+    : family_(family), db_(db) {
+  if (excluded != nullptr) {
+    excluded_ = *excluded;
+    assert(std::is_sorted(excluded_.begin(), excluded_.end()));
+  }
+  combined_.assign(family_->params().m, 0);
+  incorporated_.resize(db_->size());
+  for (uint64_t i = 0; i < db_->size(); ++i) {
+    const ItemId id = static_cast<ItemId>(i);
+    if (IsExcluded(id)) continue;
+    const uint64_t sig = family_->ItemSignature(db_->Get(id).value);
+    incorporated_[i] = sig;
+    for (uint32_t j : family_->SubsetsOf(id)) combined_[j] ^= sig;
+  }
+}
+
+bool ServerSignatureState::IsExcluded(ItemId id) const {
+  return std::binary_search(excluded_.begin(), excluded_.end(), id);
+}
+
+void ServerSignatureState::OnItemChanged(ItemId id) {
+  assert(id < incorporated_.size());
+  if (IsExcluded(id)) return;
+  const uint64_t fresh = family_->ItemSignature(db_->Get(id).value);
+  const uint64_t delta = fresh ^ incorporated_[id];
+  if (delta == 0) return;
+  for (uint32_t j : family_->SubsetsOf(id)) combined_[j] ^= delta;
+  incorporated_[id] = fresh;
+}
+
+ClientSignatureView::ClientSignatureView(const SignatureFamily* family,
+                                         const std::vector<ItemId>& interest)
+    : family_(family) {
+  std::unordered_set<uint32_t> seen;
+  for (ItemId item : interest) {
+    for (uint32_t j : family_->SubsetsOf(item)) seen.insert(j);
+  }
+  relevant_.assign(seen.begin(), seen.end());
+  std::sort(relevant_.begin(), relevant_.end());
+  stored_.assign(relevant_.size(), 0);
+}
+
+std::vector<ItemId> ClientSignatureView::DiagnoseAndAdopt(
+    const std::vector<uint64_t>& broadcast,
+    const std::vector<ItemId>& cached_items) {
+  assert(broadcast.size() == family_->params().m);
+  std::vector<ItemId> invalid;
+  if (!has_baseline_) {
+    // Nothing to compare against yet: conservatively treat every cached item
+    // as suspect and adopt this broadcast as the baseline.
+    invalid = cached_items;
+  } else {
+    // Mismatching relevant subsets (the alpha_j = 1 entries of §3.3).
+    std::unordered_set<uint32_t> mismatched;
+    for (size_t r = 0; r < relevant_.size(); ++r) {
+      if (stored_[r] != broadcast[relevant_[r]]) mismatched.insert(relevant_[r]);
+    }
+    if (!mismatched.empty()) {
+      const SignatureParams& params = family_->params();
+      const double global_threshold = family_->MismatchThreshold();
+      for (ItemId item : cached_items) {
+        const std::vector<uint32_t> subsets = family_->SubsetsOf(item);
+        uint32_t count = 0;
+        for (uint32_t j : subsets) {
+          if (mismatched.count(j) > 0) ++count;
+        }
+        const double threshold =
+            params.per_item_threshold
+                ? params.gamma * static_cast<double>(subsets.size())
+                : global_threshold;
+        if (static_cast<double>(count) > threshold) invalid.push_back(item);
+      }
+    }
+  }
+  for (size_t r = 0; r < relevant_.size(); ++r) {
+    stored_[r] = broadcast[relevant_[r]];
+  }
+  has_baseline_ = true;
+  return invalid;
+}
+
+}  // namespace mobicache

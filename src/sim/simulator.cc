@@ -1,0 +1,116 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mobicache {
+
+EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule in the past");
+  assert(fn != nullptr);
+  const uint64_t seq = next_seq_++;
+  queue_.push(Entry{when, seq});
+  callbacks_.emplace(seq, std::move(fn));
+  return EventId{seq};
+}
+
+EventId Simulator::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  assert(delay >= 0.0);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Cancel(EventId id) { return callbacks_.erase(id.seq) > 0; }
+
+bool Simulator::PopAndDispatch() {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    auto it = callbacks_.find(top.seq);
+    if (it == callbacks_.end()) {
+      // Cancelled placeholder.
+      queue_.pop();
+      continue;
+    }
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    queue_.pop();
+    now_ = top.when;
+    ++dispatched_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+uint64_t Simulator::Run() {
+  stopped_ = false;
+  uint64_t n = 0;
+  while (!stopped_ && PopAndDispatch()) ++n;
+  return n;
+}
+
+uint64_t Simulator::RunUntil(SimTime end) {
+  assert(end >= now_);
+  stopped_ = false;
+  uint64_t n = 0;
+  while (!stopped_) {
+    // Peek past cancelled placeholders to find the next live event time.
+    bool dispatched_one = false;
+    while (!queue_.empty()) {
+      const Entry top = queue_.top();
+      if (callbacks_.find(top.seq) == callbacks_.end()) {
+        queue_.pop();
+        continue;
+      }
+      if (top.when > end) break;
+      PopAndDispatch();
+      ++n;
+      dispatched_one = true;
+      break;
+    }
+    if (!dispatched_one) break;
+  }
+  if (now_ < end) now_ = end;
+  return n;
+}
+
+bool Simulator::Step() {
+  stopped_ = false;
+  return PopAndDispatch();
+}
+
+PeriodicProcess::PeriodicProcess(Simulator* sim, SimTime start, SimTime period,
+                                 std::function<void(uint64_t)> on_tick)
+    : sim_(sim),
+      start_(start),
+      period_(period),
+      on_tick_(std::move(on_tick)) {}
+
+PeriodicProcess::~PeriodicProcess() { Stop(); }
+
+Status PeriodicProcess::Start() {
+  if (period_ <= 0.0) {
+    return Status::InvalidArgument("PeriodicProcess period must be > 0");
+  }
+  if (start_ < sim_->Now()) {
+    return Status::InvalidArgument("PeriodicProcess start is in the past");
+  }
+  if (active_) return Status::FailedPrecondition("already started");
+  active_ = true;
+  pending_ = sim_->ScheduleAt(start_, [this] { Fire(); });
+  return Status::OK();
+}
+
+void PeriodicProcess::Stop() {
+  if (!active_) return;
+  sim_->Cancel(pending_);
+  active_ = false;
+}
+
+void PeriodicProcess::Fire() {
+  const uint64_t tick = ticks_fired_++;
+  // Reschedule before invoking the callback so the callback may Stop() us.
+  pending_ = sim_->ScheduleAfter(period_, [this] { Fire(); });
+  on_tick_(tick);
+}
+
+}  // namespace mobicache

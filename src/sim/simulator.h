@@ -1,0 +1,130 @@
+// Discrete-event simulation core. A Simulator owns a virtual clock and an
+// event queue; components schedule closures at absolute or relative virtual
+// times. Events at equal times fire in scheduling order (stable FIFO
+// tie-break) so runs are fully deterministic for a given seed.
+
+#ifndef MOBICACHE_SIM_SIMULATOR_H_
+#define MOBICACHE_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mobicache {
+
+/// Virtual time in seconds.
+using SimTime = double;
+
+/// Identifies a scheduled event; usable to cancel it before it fires.
+struct EventId {
+  uint64_t seq = 0;
+};
+
+/// Deterministic single-threaded discrete-event scheduler.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  // Simulator hands out raw pointers to itself via closures; moving it would
+  // invalidate them.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time. Starts at 0.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when`. `when` must be >= Now().
+  /// Returns an id usable with Cancel().
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns true if the event existed and had not
+  /// yet fired (lazy removal: the slot stays queued but becomes a no-op).
+  bool Cancel(EventId id);
+
+  /// Runs events until the queue is empty or Stop() is called.
+  /// Returns the number of events dispatched by this call.
+  uint64_t Run();
+
+  /// Runs events with time <= `end`, then sets the clock to `end` (if it is
+  /// beyond the last event). Returns the number of events dispatched.
+  uint64_t RunUntil(SimTime end);
+
+  /// Dispatches exactly one event if any is pending. Returns true if an
+  /// event ran.
+  bool Step();
+
+  /// Makes Run()/RunUntil() return after the current event completes.
+  void Stop() { stopped_ = true; }
+
+  /// Number of events still queued (including cancelled placeholders).
+  size_t PendingEvents() const { return queue_.size(); }
+
+  /// Total events dispatched over the simulator's lifetime.
+  uint64_t DispatchedEvents() const { return dispatched_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    // Ordering for the min-heap: earliest time first, then FIFO by seq.
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  bool PopAndDispatch();
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t dispatched_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  // Callbacks keyed by sequence number; erased on dispatch or cancel, so a
+  // queued Entry whose seq is absent here is a cancelled placeholder.
+  std::unordered_map<uint64_t, std::function<void()>> callbacks_;
+};
+
+/// Repeatedly invokes a callback with a fixed period, starting at `start`.
+/// The callback receives the tick index (0-based). Owned by the caller; the
+/// schedule stops when the object is destroyed or Stop() is called.
+class PeriodicProcess {
+ public:
+  /// `period` must be > 0. Does not schedule anything until Start().
+  PeriodicProcess(Simulator* sim, SimTime start, SimTime period,
+                  std::function<void(uint64_t)> on_tick);
+  ~PeriodicProcess();
+
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  /// Schedules the first tick. Returns InvalidArgument on a bad period.
+  Status Start();
+
+  /// Cancels any pending tick; idempotent.
+  void Stop();
+
+  uint64_t ticks_fired() const { return ticks_fired_; }
+
+ private:
+  void Fire();
+
+  Simulator* sim_;
+  SimTime start_;
+  SimTime period_;
+  std::function<void(uint64_t)> on_tick_;
+  EventId pending_{};
+  bool active_ = false;
+  uint64_t ticks_fired_ = 0;
+};
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_SIM_SIMULATOR_H_

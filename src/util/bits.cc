@@ -1,0 +1,39 @@
+#include "util/bits.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace mobicache {
+
+uint64_t CeilLog2(uint64_t x) {
+  assert(x >= 1);
+  uint64_t bits = 0;
+  uint64_t value = 1;
+  while (value < x) {
+    value <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+uint64_t BitsForIds(uint64_t n) {
+  assert(n >= 1);
+  if (n == 1) return 1;
+  return CeilLog2(n);
+}
+
+std::string FormatBits(double bits) {
+  char buf[64];
+  if (bits < 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f b", bits);
+  } else if (bits < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1f Kb", bits / 1e3);
+  } else if (bits < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1f Mb", bits / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f Gb", bits / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace mobicache

@@ -1,0 +1,25 @@
+// Bit-size arithmetic for the wireless-channel cost model. The paper's
+// analysis is entirely in bits: item identifiers cost ceil(log2(n)) bits,
+// timestamps bT bits, queries bq bits, answers ba bits.
+
+#ifndef MOBICACHE_UTIL_BITS_H_
+#define MOBICACHE_UTIL_BITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mobicache {
+
+/// Bits needed to name one of `n` distinct items: ceil(log2(n)), with the
+/// convention that a single-item space still costs 1 bit. n must be >= 1.
+uint64_t BitsForIds(uint64_t n);
+
+/// ceil(log2(x)) for x >= 1.
+uint64_t CeilLog2(uint64_t x);
+
+/// Pretty-prints a bit count ("512 b", "12.4 Kb", "1.2 Mb") for reports.
+std::string FormatBits(double bits);
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_UTIL_BITS_H_

@@ -1,0 +1,35 @@
+#include "util/bitstream.h"
+
+#include <cassert>
+
+namespace mobicache {
+
+void BitWriter::Write(uint64_t value, uint32_t bits) {
+  assert(bits >= 1 && bits <= 64);
+  assert(bits == 64 || (value >> bits) == 0);
+  for (uint32_t i = bits; i > 0; --i) {
+    const uint64_t bit = (value >> (i - 1)) & 1ULL;
+    const uint64_t pos = bit_size_ % 8;
+    if (pos == 0) bytes_.push_back(0);
+    bytes_.back() |= static_cast<uint8_t>(bit << (7 - pos));
+    ++bit_size_;
+  }
+}
+
+StatusOr<uint64_t> BitReader::Read(uint32_t bits) {
+  assert(bits >= 1 && bits <= 64);
+  if (cursor_ + bits > bit_size_) {
+    return Status::OutOfRange("bitstream exhausted");
+  }
+  uint64_t value = 0;
+  for (uint32_t i = 0; i < bits; ++i) {
+    const uint64_t byte = cursor_ / 8;
+    const uint64_t pos = cursor_ % 8;
+    const uint64_t bit = (bytes_[byte] >> (7 - pos)) & 1ULL;
+    value = (value << 1) | bit;
+    ++cursor_;
+  }
+  return value;
+}
+
+}  // namespace mobicache

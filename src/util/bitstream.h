@@ -1,0 +1,56 @@
+// Bit-granular serialization used by the report codec: append/extract
+// fields of arbitrary width (1..64 bits) packed MSB-first into a byte
+// buffer, so a report's wire image is exactly as many bits as the paper's
+// accounting says it should be.
+
+#ifndef MOBICACHE_UTIL_BITSTREAM_H_
+#define MOBICACHE_UTIL_BITSTREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mobicache {
+
+/// Append-only bit buffer.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the low `bits` bits of `value` (1 <= bits <= 64), MSB first.
+  /// Bits of `value` above `bits` must be zero (checked).
+  void Write(uint64_t value, uint32_t bits);
+
+  /// Number of bits written so far.
+  uint64_t bit_size() const { return bit_size_; }
+
+  /// Packed bytes; the final byte is zero-padded.
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint64_t bit_size_ = 0;
+};
+
+/// Sequential reader over a BitWriter's output.
+class BitReader {
+ public:
+  BitReader(const std::vector<uint8_t>& bytes, uint64_t bit_size)
+      : bytes_(bytes), bit_size_(bit_size) {}
+
+  /// Extracts the next `bits` bits (1 <= bits <= 64). Returns OutOfRange
+  /// when the stream is exhausted.
+  StatusOr<uint64_t> Read(uint32_t bits);
+
+  uint64_t bits_remaining() const { return bit_size_ - cursor_; }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  uint64_t bit_size_;
+  uint64_t cursor_ = 0;
+};
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_UTIL_BITSTREAM_H_

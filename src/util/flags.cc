@@ -1,0 +1,127 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace mobicache {
+
+FlagParser::FlagParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagParser::AddString(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help, std::string* out) {
+  *out = default_value;
+  flags_.push_back(Flag{name, help, default_value, Type::kString, out});
+}
+
+void FlagParser::AddUint(const std::string& name, uint64_t default_value,
+                         const std::string& help, uint64_t* out) {
+  *out = default_value;
+  flags_.push_back(
+      Flag{name, help, std::to_string(default_value), Type::kUint, out});
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           const std::string& help, double* out) {
+  *out = default_value;
+  std::ostringstream text;
+  text << default_value;
+  flags_.push_back(Flag{name, help, text.str(), Type::kDouble, out});
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         const std::string& help, bool* out) {
+  *out = default_value;
+  flags_.push_back(
+      Flag{name, help, default_value ? "true" : "false", Type::kBool, out});
+}
+
+const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+Status FlagParser::Assign(const Flag& flag, const std::string& text) {
+  switch (flag.type) {
+    case Type::kString:
+      *static_cast<std::string*>(flag.out) = text;
+      return Status::OK();
+    case Type::kUint: {
+      char* end = nullptr;
+      const uint64_t value = std::strtoull(text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || text.empty()) {
+        return Status::InvalidArgument("--" + flag.name +
+                                       " expects an unsigned integer");
+      }
+      *static_cast<uint64_t*>(flag.out) = value;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      const double value = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0' || text.empty()) {
+        return Status::InvalidArgument("--" + flag.name +
+                                       " expects a number");
+      }
+      *static_cast<double*>(flag.out) = value;
+      return Status::OK();
+    }
+    case Type::kBool: {
+      if (text == "true" || text == "1") {
+        *static_cast<bool*>(flag.out) = true;
+      } else if (text == "false" || text == "0") {
+        *static_cast<bool*>(flag.out) = false;
+      } else {
+        return Status::InvalidArgument("--" + flag.name +
+                                       " expects true/false");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected argument: " + arg);
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    const std::string name = eq == std::string::npos ? arg : arg.substr(0, eq);
+    const Flag* flag = Find(name);
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    if (eq == std::string::npos) {
+      if (flag->type != Type::kBool) {
+        return Status::InvalidArgument("--" + name + " needs a value");
+      }
+      *static_cast<bool*>(flag->out) = true;
+      continue;
+    }
+    MOBICACHE_RETURN_IF_ERROR(Assign(*flag, arg.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nFlags:\n";
+  for (const Flag& flag : flags_) {
+    os << "  --" << flag.name << " (default " << flag.default_text << ")\n"
+       << "      " << flag.help << "\n";
+  }
+  os << "  --help\n      Show this message.\n";
+  return os.str();
+}
+
+}  // namespace mobicache

@@ -1,0 +1,62 @@
+// Minimal command-line flag parser for the example/bench executables:
+// registers typed flags with defaults and help text, parses
+// --name=value / --name (bool) arguments, and renders a usage page.
+
+#ifndef MOBICACHE_UTIL_FLAGS_H_
+#define MOBICACHE_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mobicache {
+
+class FlagParser {
+ public:
+  /// `program_description` heads the usage page.
+  explicit FlagParser(std::string program_description);
+
+  // Registration: `out` must outlive Parse(); it is pre-filled with the
+  // default so callers can read it even when the flag is absent.
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help, std::string* out);
+  void AddUint(const std::string& name, uint64_t default_value,
+               const std::string& help, uint64_t* out);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help, double* out);
+  /// Boolean flags accept --name, --name=true/false/1/0.
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help, bool* out);
+
+  /// Parses argv. Returns InvalidArgument on unknown flags or bad values.
+  /// `--help` is always accepted and sets help_requested().
+  Status Parse(int argc, char** argv);
+
+  bool help_requested() const { return help_requested_; }
+
+  /// The usage page (description plus one line per flag with its default).
+  std::string Usage() const;
+
+ private:
+  enum class Type { kString, kUint, kDouble, kBool };
+  struct Flag {
+    std::string name;
+    std::string help;
+    std::string default_text;
+    Type type;
+    void* out;
+  };
+
+  Status Assign(const Flag& flag, const std::string& text);
+  const Flag* Find(const std::string& name) const;
+
+  std::string description_;
+  std::vector<Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_UTIL_FLAGS_H_

@@ -1,0 +1,159 @@
+#include "util/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mobicache {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Xoshiro256::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::LongJump() {
+  static constexpr uint64_t kJump[] = {0x76E15D3EFEFDCBBFULL,
+                                       0xC5004E441C522FB3ULL,
+                                       0x77710069854EE241ULL,
+                                       0x39109BB02ACBE635ULL};
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      Next();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+Rng Rng::Substream(uint64_t seed, uint64_t index) {
+  Rng rng(seed);
+  for (uint64_t i = 0; i <= index; ++i) rng.gen_.LongJump();
+  return rng;
+}
+
+double Rng::NextDouble() {
+  // 53 top bits -> [0, 1) with full double precision.
+  return static_cast<double>(gen_.Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's method with rejection to remove modulo bias.
+  uint64_t x = gen_.Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = gen_.Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double lambda) {
+  assert(lambda > 0.0);
+  // Inversion: -ln(1 - U) / lambda; 1 - U in (0, 1].
+  double u = 1.0 - NextDouble();
+  return -std::log(u) / lambda;
+}
+
+uint64_t Rng::Poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion in the exp domain.
+    const double limit = std::exp(-mean);
+    double prod = NextDouble();
+    uint64_t count = 0;
+    while (prod > limit) {
+      ++count;
+      prod *= NextDouble();
+    }
+    return count;
+  }
+  // Split recursively: Poisson(a + b) = Poisson(a) + Poisson(b). Keeps each
+  // leaf in the numerically safe inversion range without a normal
+  // approximation (exact distribution, modest cost for the rates we use).
+  const double half = mean / 2.0;
+  return Poisson(half) + Poisson(mean - half);
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double theta) : theta_(theta) {
+  assert(n >= 1);
+  assert(theta >= 0.0);
+  cdf_.resize(n);
+  double norm = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    norm += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  double acc = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    acc += (1.0 / std::pow(static_cast<double>(i + 1), theta)) / norm;
+    cdf_[i] = acc;
+  }
+  cdf_[n - 1] = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  // Binary search for the first index with cdf >= u.
+  uint64_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double ZipfDistribution::Pmf(uint64_t i) const {
+  assert(i < cdf_.size());
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace mobicache

@@ -1,0 +1,97 @@
+// Deterministic pseudo-random number generation and the distributions used
+// by the mobile-caching model: exponential interarrival times (queries and
+// updates), Bernoulli sleep decisions, Poisson counts, and Zipf skew for
+// hot-spot extensions.
+//
+// The generator is xoshiro256** seeded via SplitMix64, which gives
+// high-quality 64-bit streams, cheap construction, and full reproducibility
+// across platforms (no reliance on libstdc++ distribution internals).
+
+#ifndef MOBICACHE_UTIL_RANDOM_H_
+#define MOBICACHE_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mobicache {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Advances `state` and returns the next value of the sequence.
+uint64_t SplitMix64(uint64_t* state);
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm,
+/// reimplemented here). Passes BigCrush; period 2^256 - 1.
+class Xoshiro256 {
+ public:
+  /// Seeds all 256 bits of state from `seed` via SplitMix64. Any seed value,
+  /// including 0, produces a valid state.
+  explicit Xoshiro256(uint64_t seed);
+
+  /// Returns the next 64 uniformly distributed bits.
+  uint64_t Next();
+
+  /// Equivalent to 2^128 calls to Next(); used to derive independent
+  /// subsequences for parallel components from one master seed.
+  void LongJump();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Random engine exposing the distributions the simulator needs. Copyable so
+/// components can fork deterministic substreams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  /// Derives an independent stream: same seed, `index + 1` long-jumps ahead.
+  static Rng Substream(uint64_t seed, uint64_t index);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Raw 64 random bits.
+  uint64_t NextBits() { return gen_.Next(); }
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Exponential with rate `lambda` (> 0); mean 1/lambda.
+  double Exponential(double lambda);
+
+  /// Poisson count with mean `mean` (>= 0). Exact inversion for small means,
+  /// PTRD-free normal-approximation-with-rejection fallback for large means.
+  uint64_t Poisson(double mean);
+
+ private:
+  Xoshiro256 gen_;
+};
+
+/// Precomputed Zipf(theta) sampler over {0, ..., n-1}; theta = 0 is uniform.
+/// Used by the skewed update-rate and hot-spot extensions.
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1 and `theta` >= 0.
+  ZipfDistribution(uint64_t n, double theta);
+
+  /// Samples a rank in [0, n), rank 0 being the most popular.
+  uint64_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank `i`.
+  double Pmf(uint64_t i) const;
+
+  uint64_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;  // cumulative probabilities, cdf_[n-1] == 1.0
+};
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_UTIL_RANDOM_H_

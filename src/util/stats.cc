@@ -1,0 +1,104 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mobicache {
+
+void OnlineStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const uint64_t total = count_ + other.count_;
+  mean_ += delta * static_cast<double>(other.count_) /
+           static_cast<double>(total);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(total);
+  count_ = total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::ConfidenceHalfWidth(double z) const {
+  if (count_ < 2) return 0.0;
+  return z * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double RatioEstimator::WilsonHalfWidth(double z) const {
+  if (trials_ == 0) return 0.0;
+  const double n = static_cast<double>(trials_);
+  const double p = ratio();
+  const double z2 = z * z;
+  return (z / (1.0 + z2 / n)) *
+         std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+}
+
+double RatioEstimator::WilsonCenter(double z) const {
+  if (trials_ == 0) return 0.0;
+  const double n = static_cast<double>(trials_);
+  const double p = ratio();
+  const double z2 = z * z;
+  return (p + z2 / (2.0 * n)) / (1.0 + z2 / n);
+}
+
+Histogram::Histogram(double lo, double hi, uint64_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)) {
+  assert(hi > lo);
+  assert(buckets > 0);
+  counts_.resize(buckets, 0);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<uint64_t>((x - lo_) / width_);
+  idx = std::min<uint64_t>(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+double Histogram::Quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double acc = static_cast<double>(underflow_);
+  if (acc >= target) return lo_;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double next = acc + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - acc) / static_cast<double>(counts_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    acc = next;
+  }
+  return hi_;
+}
+
+}  // namespace mobicache

@@ -1,0 +1,107 @@
+// Online statistics used by the experiment harness: streaming mean/variance
+// (Welford), binomial ratio estimators for hit ratios, normal-approximation
+// confidence intervals, and simple fixed-bucket histograms for latency.
+
+#ifndef MOBICACHE_UTIL_STATS_H_
+#define MOBICACHE_UTIL_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mobicache {
+
+/// Streaming mean / variance / min / max accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const OnlineStats& other);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Half-width of the normal-approximation confidence interval for the mean
+  /// at the given z (default z = 1.96 for ~95%).
+  double ConfidenceHalfWidth(double z = 1.96) const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Counts successes over trials; reports the ratio and its Wilson interval.
+/// Used for cache hit ratios and false-alarm rates.
+class RatioEstimator {
+ public:
+  void Add(bool success) {
+    ++trials_;
+    if (success) ++successes_;
+  }
+  void AddCounts(uint64_t successes, uint64_t trials) {
+    successes_ += successes;
+    trials_ += trials;
+  }
+  void Merge(const RatioEstimator& other) {
+    AddCounts(other.successes_, other.trials_);
+  }
+
+  uint64_t successes() const { return successes_; }
+  uint64_t trials() const { return trials_; }
+  double ratio() const {
+    return trials_ == 0 ? 0.0
+                        : static_cast<double>(successes_) /
+                              static_cast<double>(trials_);
+  }
+
+  /// Wilson score interval half-width at z (default ~95%). Well-behaved for
+  /// ratios near 0 or 1, unlike the Wald interval.
+  double WilsonHalfWidth(double z = 1.96) const;
+  /// Center of the Wilson interval (shrinks toward 0.5 for tiny samples).
+  double WilsonCenter(double z = 1.96) const;
+
+ private:
+  uint64_t successes_ = 0;
+  uint64_t trials_ = 0;
+};
+
+/// Fixed-width bucket histogram over [lo, hi); out-of-range samples land in
+/// saturating under/overflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, uint64_t buckets);
+
+  void Add(double x);
+
+  uint64_t total() const { return total_; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  const std::vector<uint64_t>& buckets() const { return counts_; }
+
+  /// Approximate quantile q in [0, 1] by linear interpolation within the
+  /// containing bucket. Returns lo/hi for out-of-range mass.
+  double Quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_UTIL_STATS_H_

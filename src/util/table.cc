@@ -1,0 +1,79 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace mobicache {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Int(uint64_t v) { return std::to_string(v); }
+
+void TablePrinter::RenderText(std::ostream& os) const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<size_t> widths(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cell;
+      if (c + 1 < cols) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  size_t rule = 0;
+  for (size_t c = 0; c < cols; ++c) rule += widths[c] + (c + 1 < cols ? 2 : 0);
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+namespace {
+
+// CSV-quotes a cell if it contains a comma, quote, or newline.
+std::string CsvCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void TablePrinter::RenderCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << CsvCell(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace mobicache

@@ -1,0 +1,40 @@
+// Aligned ASCII table / CSV emitter used by the benchmark harness to print
+// paper-style result tables and figure series.
+
+#ifndef MOBICACHE_UTIL_TABLE_H_
+#define MOBICACHE_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mobicache {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// monospace table or as CSV. All rows are padded to the header width.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; missing cells render empty, extra cells are kept and
+  /// widen the table.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant decimals.
+  static std::string Num(double v, int precision = 4);
+  static std::string Int(uint64_t v);
+
+  void RenderText(std::ostream& os) const;
+  void RenderCsv(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_UTIL_TABLE_H_

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "core/cache.h"
+
+namespace mobicache {
+namespace {
+
+TEST(ClientCacheTest, PutGetPeek) {
+  ClientCache cache;
+  EXPECT_TRUE(cache.empty());
+  cache.Put(1, 100, 5.0);
+  ASSERT_NE(cache.Peek(1), nullptr);
+  EXPECT_EQ(cache.Peek(1)->value, 100u);
+  EXPECT_DOUBLE_EQ(cache.Peek(1)->timestamp, 5.0);
+  EXPECT_EQ(cache.Peek(2), nullptr);
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(ClientCacheTest, PutOverwrites) {
+  ClientCache cache;
+  cache.Put(1, 100, 5.0);
+  cache.Put(1, 200, 6.0);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Peek(1)->value, 200u);
+  EXPECT_DOUBLE_EQ(cache.Peek(1)->timestamp, 6.0);
+}
+
+TEST(ClientCacheTest, SetTimestamp) {
+  ClientCache cache;
+  cache.Put(1, 100, 5.0);
+  EXPECT_TRUE(cache.SetTimestamp(1, 9.0));
+  EXPECT_DOUBLE_EQ(cache.Peek(1)->timestamp, 9.0);
+  EXPECT_EQ(cache.Peek(1)->value, 100u);  // value untouched
+  EXPECT_FALSE(cache.SetTimestamp(42, 9.0));
+}
+
+TEST(ClientCacheTest, EraseAndClear) {
+  ClientCache cache;
+  cache.Put(1, 1, 0.0);
+  cache.Put(2, 2, 0.0);
+  EXPECT_TRUE(cache.Erase(1));
+  EXPECT_FALSE(cache.Erase(1));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Clear();
+  EXPECT_TRUE(cache.empty());
+}
+
+TEST(ClientCacheTest, ItemsSorted) {
+  ClientCache cache;
+  cache.Put(5, 0, 0.0);
+  cache.Put(1, 0, 0.0);
+  cache.Put(3, 0, 0.0);
+  EXPECT_EQ(cache.Items(), (std::vector<ItemId>{1, 3, 5}));
+}
+
+TEST(ClientCacheTest, LruEvictsLeastRecentlyUsed) {
+  ClientCache cache(2);
+  cache.Put(1, 1, 0.0);
+  cache.Put(2, 2, 0.0);
+  cache.Get(1);       // 1 becomes most recent
+  cache.Put(3, 3, 0.0);  // evicts 2
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.lru_evictions(), 1u);
+}
+
+TEST(ClientCacheTest, PeekDoesNotTouchLru) {
+  ClientCache cache(2);
+  cache.Put(1, 1, 0.0);
+  cache.Put(2, 2, 0.0);
+  cache.Peek(1);         // no LRU effect: 1 stays least recent
+  cache.Put(3, 3, 0.0);  // evicts 1
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+TEST(ClientCacheTest, OverwriteCountsAsUse) {
+  ClientCache cache(2);
+  cache.Put(1, 1, 0.0);
+  cache.Put(2, 2, 0.0);
+  cache.Put(1, 10, 1.0);  // refresh 1
+  cache.Put(3, 3, 0.0);   // evicts 2
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(ClientCacheTest, UnboundedNeverEvicts) {
+  ClientCache cache;
+  for (ItemId i = 0; i < 1000; ++i) cache.Put(i, i, 0.0);
+  EXPECT_EQ(cache.size(), 1000u);
+  EXPECT_EQ(cache.lru_evictions(), 0u);
+}
+
+}  // namespace
+}  // namespace mobicache

@@ -1,0 +1,207 @@
+// BitWriter/BitReader and report-codec tests, including the bit-exactness
+// property: the encoded payload must match the paper's Bc accounting.
+
+#include <gtest/gtest.h>
+
+#include "core/report_codec.h"
+#include "util/bitstream.h"
+
+namespace mobicache {
+namespace {
+
+TEST(BitstreamTest, RoundTripsMixedWidths) {
+  BitWriter w;
+  w.Write(0b101, 3);
+  w.Write(0xDEADBEEF, 32);
+  w.Write(1, 1);
+  w.Write(0x123456789ABCDEFULL, 60);
+  EXPECT_EQ(w.bit_size(), 96u);
+
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(*r.Read(3), 0b101u);
+  EXPECT_EQ(*r.Read(32), 0xDEADBEEFu);
+  EXPECT_EQ(*r.Read(1), 1u);
+  EXPECT_EQ(*r.Read(60), 0x123456789ABCDEFULL);
+  EXPECT_EQ(r.bits_remaining(), 0u);
+  EXPECT_FALSE(r.Read(1).ok());  // exhausted
+}
+
+TEST(BitstreamTest, SixtyFourBitValues) {
+  BitWriter w;
+  w.Write(~0ULL, 64);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(*r.Read(64), ~0ULL);
+}
+
+TEST(BitstreamTest, SingleBits) {
+  BitWriter w;
+  for (int i = 0; i < 10; ++i) w.Write(static_cast<uint64_t>(i % 2), 1);
+  BitReader r(w.bytes(), w.bit_size());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(*r.Read(1), static_cast<uint64_t>(i % 2));
+}
+
+MessageSizes Sizes() {
+  MessageSizes s;
+  s.bq = 128;
+  s.ba = 1024;
+  s.bT = 512;  // wider than 64: exercises the wide-field padding
+  s.id_bits = 10;
+  s.sig_bits = 16;
+  return s;
+}
+
+template <typename T>
+Report RoundTrip(const T& report) {
+  const Report in(report);
+  StatusOr<EncodedReport> encoded = EncodeReport(in, Sizes());
+  EXPECT_TRUE(encoded.ok()) << encoded.status().ToString();
+  // Bit-exactness: payload == paper accounting.
+  EXPECT_EQ(encoded->bit_size,
+            ReportHeaderBits(in) + ReportSizeBits(in, Sizes()));
+  StatusOr<Report> out = DecodeReport(*encoded, Sizes());
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return *out;
+}
+
+TEST(ReportCodecTest, NullReport) {
+  NullReport r;
+  r.interval = 12;
+  r.timestamp = 120.0;
+  const Report out = RoundTrip(r);
+  EXPECT_EQ(ReportInterval(out), 12u);
+  EXPECT_DOUBLE_EQ(ReportTimestamp(out), 120.0);
+}
+
+TEST(ReportCodecTest, TsReportRoundTrip) {
+  TsReport r;
+  r.interval = 7;
+  r.timestamp = 70.0;
+  r.window = 30.0;
+  r.entries = {{1, 61.25}, {1000, 69.5}, {3, 0.001}};
+  const Report out = RoundTrip(r);
+  const auto& ts = std::get<TsReport>(out);
+  ASSERT_EQ(ts.entries.size(), 3u);
+  EXPECT_EQ(ts.entries[0].id, 1u);
+  EXPECT_DOUBLE_EQ(ts.entries[0].updated_at, 61.25);
+  EXPECT_EQ(ts.entries[1].id, 1000u);
+  EXPECT_DOUBLE_EQ(ts.entries[2].updated_at, 0.001);
+}
+
+TEST(ReportCodecTest, AtReportRoundTrip) {
+  AtReport r;
+  r.interval = 3;
+  r.timestamp = 30.0;
+  r.ids = {0, 512, 1023};
+  const Report out = RoundTrip(r);
+  EXPECT_EQ(std::get<AtReport>(out).ids, r.ids);
+}
+
+TEST(ReportCodecTest, SigReportRoundTrip) {
+  SigReport r;
+  r.interval = 4;
+  r.timestamp = 40.0;
+  for (uint64_t i = 0; i < 100; ++i) r.combined.push_back(i * 131 % 65536);
+  const Report out = RoundTrip(r);
+  EXPECT_EQ(std::get<SigReport>(out).combined, r.combined);
+}
+
+TEST(ReportCodecTest, AdaptiveReportRoundTrip) {
+  AdaptiveTsReport r;
+  r.interval = 9;
+  r.timestamp = 90.0;
+  r.window_bits = 9;
+  r.entries = {{5, 81.0}};
+  r.window_changes = {{2, 0}, {7, 256}};
+  const Report out = RoundTrip(r);
+  const auto& ats = std::get<AdaptiveTsReport>(out);
+  EXPECT_EQ(ats.window_bits, 9u);
+  ASSERT_EQ(ats.window_changes.size(), 2u);
+  EXPECT_EQ(ats.window_changes[1].window_intervals, 256u);
+}
+
+TEST(ReportCodecTest, GroupedReportRoundTrip) {
+  GroupedAtReport r;
+  r.interval = 2;
+  r.timestamp = 20.0;
+  r.num_groups = 33;  // 6 group bits
+  r.groups = {0, 17, 32};
+  const Report out = RoundTrip(r);
+  const auto& gat = std::get<GroupedAtReport>(out);
+  EXPECT_EQ(gat.num_groups, 33u);
+  EXPECT_EQ(gat.groups, r.groups);
+}
+
+TEST(ReportCodecTest, HybridReportRoundTrip) {
+  HybridReport r;
+  r.interval = 6;
+  r.timestamp = 60.0;
+  r.hot_ids = {3, 700};
+  for (uint64_t i = 0; i < 40; ++i) r.combined.push_back((i * 977) % 65536);
+  const Report out = RoundTrip(r);
+  const auto& hyb = std::get<HybridReport>(out);
+  EXPECT_EQ(hyb.hot_ids, r.hot_ids);
+  EXPECT_EQ(hyb.combined, r.combined);
+}
+
+TEST(ReportCodecTest, RejectsOversizedId) {
+  AtReport r;
+  r.interval = 1;
+  r.timestamp = 10.0;
+  r.ids = {5000};  // does not fit 10 id bits
+  EXPECT_FALSE(EncodeReport(Report(r), Sizes()).ok());
+}
+
+TEST(ReportCodecTest, RejectsOversizedSignature) {
+  SigReport r;
+  r.interval = 1;
+  r.timestamp = 10.0;
+  r.combined = {1ULL << 20};  // does not fit 16 signature bits
+  EXPECT_FALSE(EncodeReport(Report(r), Sizes()).ok());
+}
+
+TEST(ReportCodecTest, RejectsNegativeTimestamp) {
+  NullReport r;
+  r.interval = 1;
+  r.timestamp = -1.0;
+  EXPECT_FALSE(EncodeReport(Report(r), Sizes()).ok());
+}
+
+TEST(ReportCodecTest, TimestampsQuantizeToMilliseconds) {
+  TsReport r;
+  r.interval = 1;
+  r.timestamp = 10.0;
+  r.entries = {{1, 5.0004}};  // rounds to 5.000
+  const Report out = RoundTrip(r);
+  EXPECT_NEAR(std::get<TsReport>(out).entries[0].updated_at, 5.0, 1e-9);
+}
+
+TEST(ReportCodecTest, TruncatedStreamFailsCleanly) {
+  AtReport r;
+  r.interval = 1;
+  r.timestamp = 10.0;
+  r.ids = {1, 2, 3};
+  StatusOr<EncodedReport> encoded = EncodeReport(Report(r), Sizes());
+  ASSERT_TRUE(encoded.ok());
+  EncodedReport truncated = *encoded;
+  truncated.bit_size -= 5;  // chop mid-entry
+  EXPECT_FALSE(DecodeReport(truncated, Sizes()).ok());
+}
+
+TEST(ReportCodecTest, NarrowTimestampFieldStillWorks) {
+  MessageSizes narrow = Sizes();
+  narrow.bT = 32;  // ms timestamps up to ~49 days
+  TsReport r;
+  r.interval = 1;
+  r.timestamp = 10.0;
+  r.entries = {{1, 9.5}};
+  StatusOr<EncodedReport> encoded = EncodeReport(Report(r), narrow);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded->bit_size,
+            ReportHeaderBits(Report(r)) + ReportSizeBits(Report(r), narrow));
+  StatusOr<Report> out = DecodeReport(*encoded, narrow);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(std::get<TsReport>(*out).entries[0].updated_at, 9.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace mobicache

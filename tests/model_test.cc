@@ -1,0 +1,233 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/model.h"
+#include "analysis/scenarios.h"
+
+namespace mobicache {
+namespace {
+
+ModelParams Scenario1() { return ScenarioParams(PaperScenario::kScenario1); }
+
+TEST(ModelTest, IntervalProbabilities) {
+  ModelParams p = Scenario1();
+  p.s = 0.4;
+  const IntervalProbabilities pr = ComputeIntervalProbabilities(p);
+  EXPECT_NEAR(pr.q0, 0.6 * std::exp(-1.0), 1e-12);  // lambda L = 1
+  EXPECT_NEAR(pr.p0, 0.4 + pr.q0, 1e-12);
+  EXPECT_NEAR(pr.u0, std::exp(-1e-3), 1e-12);  // mu L = 1e-3
+}
+
+TEST(ModelTest, MaximalHitRatio) {
+  ModelParams p = Scenario1();
+  EXPECT_NEAR(MaximalHitRatio(p), 0.1 / (0.1 + 1e-4), 1e-12);
+  p.mu = 0.1;
+  EXPECT_NEAR(MaximalHitRatio(p), 0.5, 1e-12);
+}
+
+TEST(ModelTest, ThroughputFormulas) {
+  ModelParams p = Scenario1();
+  // Eq. 14: Tnc = L W / (bq + ba).
+  EXPECT_NEAR(NoCacheThroughput(p),
+              p.L * p.W / static_cast<double>(p.bq + p.ba), 1e-9);
+  // Eq. 11: Tmax = Tnc / (1 - MHR).
+  EXPECT_NEAR(MaxThroughput(p),
+              NoCacheThroughput(p) / (1.0 - MaximalHitRatio(p)), 1e-6);
+}
+
+TEST(ModelTest, NoCacheEffectivenessEqualsOneMinusMhr) {
+  // e_nc = Tnc / Tmax = 1 - MHR, independent of everything else.
+  for (double mu : {1e-4, 1e-2, 0.1}) {
+    ModelParams p = Scenario1();
+    p.mu = mu;
+    EXPECT_NEAR(EvalNoCache(p).effectiveness, 1.0 - MaximalHitRatio(p), 1e-9);
+  }
+}
+
+TEST(ModelTest, AtHitRatioFormula) {
+  ModelParams p = Scenario1();
+  p.s = 0.4;
+  const IntervalProbabilities pr = ComputeIntervalProbabilities(p);
+  EXPECT_NEAR(AtHitRatio(p),
+              (1.0 - pr.p0) * pr.u0 / (1.0 - pr.q0 * pr.u0), 1e-12);
+}
+
+TEST(ModelTest, TsBoundsAreOrderedAndTight) {
+  for (double s : {0.0, 0.2, 0.5, 0.8, 0.95, 1.0}) {
+    ModelParams p = Scenario1();
+    p.s = s;
+    const TsHitBounds b = TsHitRatioBounds(p);
+    EXPECT_LE(b.lower, b.upper + 1e-12) << "s=" << s;
+    EXPECT_GE(b.lower, 0.0);
+    EXPECT_LE(b.upper, 1.0);
+  }
+  // With a large window (k = 100) the bounds coincide for moderate s
+  // (the sleep-streak correction s^k vanishes).
+  ModelParams p = Scenario1();
+  p.s = 0.5;
+  const TsHitBounds b = TsHitRatioBounds(p);
+  EXPECT_NEAR(b.lower, b.upper, 1e-9);
+}
+
+TEST(ModelTest, HitRatiosVanishAsSleepGoesToOne) {
+  ModelParams p = Scenario1();
+  p.s = 1.0;
+  EXPECT_NEAR(AtHitRatio(p), 0.0, 1e-12);
+  EXPECT_NEAR(TsHitRatioBounds(p).upper, 0.0, 1e-9);
+  EXPECT_NEAR(SigHitRatio(p), 0.0, 1e-12);
+}
+
+TEST(ModelTest, WorkaholicHitRatiosNearlyCoincide) {
+  // As s -> 0 all three strategies approach the same hit ratio (§5), with
+  // SIG lagging by the factor p_nf.
+  ModelParams p = Scenario1();
+  p.s = 0.0;
+  const double at = AtHitRatio(p);
+  const double ts = TsHitRatioBounds(p).mid();
+  const double sig = SigHitRatio(p);
+  EXPECT_NEAR(at, ts, 1e-6);
+  EXPECT_NEAR(sig, at * SigNoFalseAlarmProbability(p), 1e-9);
+}
+
+TEST(ModelTest, AtDropsFasterThanTsAsSleepGrows) {
+  // The paper's central claim about sleepers: TS tolerates naps, AT does
+  // not.
+  ModelParams p = Scenario1();
+  p.s = 0.5;
+  EXPECT_GT(TsHitRatioBounds(p).lower, AtHitRatio(p));
+}
+
+TEST(ModelTest, ReportSizes) {
+  ModelParams p = Scenario1();
+  // TS: nc (log n + bT), nc = n (1 - e^{-mu k L}).
+  const double nc = 1000.0 * (1.0 - std::exp(-1e-4 * 1000.0));
+  EXPECT_NEAR(TsReportBits(p), nc * (10.0 + 512.0), 1e-6);
+  // AT: nL log n.
+  const double nl = 1000.0 * (1.0 - std::exp(-1e-3));
+  EXPECT_NEAR(AtReportBits(p), nl * 10.0, 1e-6);
+  // SIG: m g.
+  EXPECT_NEAR(SigReportBits(p),
+              static_cast<double>(SigSignatureCount(p)) * 16.0, 1e-9);
+}
+
+TEST(ModelTest, SigSignatureCountMatchesEq24) {
+  ModelParams p = Scenario1();
+  const double expected =
+      6.0 * 11.0 * (std::log(1.0 / p.sig_delta) + std::log(1000.0));
+  EXPECT_NEAR(static_cast<double>(SigSignatureCount(p)), expected, 1.0);
+}
+
+TEST(ModelTest, TsInfeasibleInUpdateIntensiveScenario3) {
+  ModelParams p = ScenarioParams(PaperScenario::kScenario3);
+  const StrategyEval ts = EvalTs(p);
+  EXPECT_FALSE(ts.feasible);  // report exceeds L W (the paper omits TS)
+  EXPECT_EQ(ts.throughput, 0.0);
+  // AT stays feasible there.
+  EXPECT_TRUE(EvalAt(p).feasible);
+}
+
+TEST(ModelTest, Scenario4TsAlsoInfeasible) {
+  EXPECT_FALSE(EvalTs(ScenarioParams(PaperScenario::kScenario4)).feasible);
+}
+
+TEST(ModelTest, EffectivenessIsAtMostOneForFeasibleStrategies) {
+  for (auto scenario :
+       {PaperScenario::kScenario1, PaperScenario::kScenario2,
+        PaperScenario::kScenario3, PaperScenario::kScenario4}) {
+    for (double s : {0.0, 0.3, 0.7, 1.0}) {
+      ModelParams p = ScenarioParams(scenario);
+      p.s = s;
+      for (const StrategyEval& e :
+           {EvalTs(p), EvalAt(p), EvalSig(p), EvalNoCache(p)}) {
+        if (e.feasible) {
+          EXPECT_LE(e.effectiveness, 1.0 + 1e-9);
+          EXPECT_GE(e.effectiveness, 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(ModelTest, EvalFromMeasurementsMatchesClosedForm) {
+  ModelParams p = Scenario1();
+  p.s = 0.25;
+  const StrategyEval at = EvalAt(p);
+  const StrategyEval from =
+      EvalFromMeasurements(p, at.hit_ratio, at.report_bits);
+  EXPECT_NEAR(from.throughput, at.throughput, 1e-9);
+  EXPECT_NEAR(from.effectiveness, at.effectiveness, 1e-12);
+}
+
+TEST(ModelTest, PaperConclusionWorkaholicsFavourAt) {
+  // §5: for workaholics (s = 0) AT has the best throughput (smallest
+  // report at equal hit ratio).
+  ModelParams p = Scenario1();
+  p.s = 0.0;
+  const double at = EvalAt(p).effectiveness;
+  EXPECT_GT(at, EvalTs(p).effectiveness);
+  EXPECT_GT(at, EvalNoCache(p).effectiveness);
+}
+
+TEST(ModelTest, PaperConclusionSleepersFavourTsAndSig) {
+  // §5/§6: for moderate sleepers under infrequent updates, TS and SIG beat
+  // AT (Scenario 1, s = 0.5).
+  ModelParams p = Scenario1();
+  p.s = 0.5;
+  EXPECT_GT(EvalTs(p).effectiveness, EvalAt(p).effectiveness);
+  EXPECT_GT(EvalSig(p).effectiveness, EvalAt(p).effectiveness);
+}
+
+TEST(ModelTest, PaperConclusionHeavySleepersFavourNoCache) {
+  // Scenario 3 (update-intensive): beyond some s, no caching wins (paper
+  // places the crossover near s = 0.8).
+  ModelParams p = ScenarioParams(PaperScenario::kScenario3);
+  p.s = 0.95;
+  EXPECT_GT(EvalNoCache(p).effectiveness, EvalAt(p).effectiveness);
+  p.s = 0.2;
+  EXPECT_LT(EvalNoCache(p).effectiveness, EvalAt(p).effectiveness);
+}
+
+TEST(ModelTest, TsDegradesWithUpdateRateInScenario5) {
+  // Fig. 7: TS effectiveness decays quickly as mu grows, AT stays ahead.
+  ModelParams lo = ScenarioParams(PaperScenario::kScenario5);
+  ModelParams hi = lo;
+  hi.mu = 2e-4;
+  EXPECT_GT(EvalTs(lo).effectiveness, EvalTs(hi).effectiveness);
+  EXPECT_GT(EvalAt(hi).effectiveness, EvalTs(hi).effectiveness);
+}
+
+TEST(ModelTest, ExpectedAnswerLatencyComponents) {
+  ModelParams p;  // lambda L = 1
+  p.s = 0.0;
+  // No sleep, no report airtime: waiting is L - E[first arrival | >= 1].
+  const double u = std::exp(-1.0);
+  const double expected = 10.0 - (10.0 - 10.0 * u / (1.0 - u));
+  EXPECT_NEAR(ExpectedAnswerLatency(p, 0.0), expected, 1e-9);
+  // Sleep extends the wait by L s/(1-s).
+  p.s = 0.5;
+  EXPECT_NEAR(ExpectedAnswerLatency(p, 0.0), expected + 10.0, 1e-9);
+  // Report airtime adds Bc / W.
+  EXPECT_NEAR(ExpectedAnswerLatency(p, 5000.0),
+              expected + 10.0 + 0.5, 1e-9);
+}
+
+TEST(ScenariosTest, PresetsMatchThePaperTables) {
+  const ModelParams s1 = ScenarioParams(PaperScenario::kScenario1);
+  EXPECT_EQ(s1.n, 1000u);
+  EXPECT_EQ(s1.k, 100u);
+  EXPECT_EQ(s1.f, 10u);
+  EXPECT_DOUBLE_EQ(s1.W, 1e4);
+  const ModelParams s4 = ScenarioParams(PaperScenario::kScenario4);
+  EXPECT_EQ(s4.n, 1000000u);
+  EXPECT_EQ(s4.f, 200u);
+  EXPECT_DOUBLE_EQ(s4.mu, 0.1);
+  const ScenarioSweep sweep5 = ScenarioSweepSpec(PaperScenario::kScenario5);
+  EXPECT_FALSE(sweep5.sweeps_sleep);
+  EXPECT_DOUBLE_EQ(sweep5.lo, 1e-4);
+  EXPECT_DOUBLE_EQ(sweep5.hi, 2e-4);
+  EXPECT_FALSE(ScenarioLabel(PaperScenario::kScenario6).empty());
+}
+
+}  // namespace
+}  // namespace mobicache

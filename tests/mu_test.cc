@@ -1,0 +1,299 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/at.h"
+#include "core/nocache.h"
+#include "db/database.h"
+#include "mu/hotspot.h"
+#include "mu/mobile_unit.h"
+#include "mu/sleep_model.h"
+#include "util/random.h"
+
+namespace mobicache {
+namespace {
+
+TEST(HotSpotTest, ContiguousWrapsAndSorts) {
+  const auto hs = ContiguousHotSpot(10, 8, 4);  // 8, 9, 0, 1
+  EXPECT_EQ(hs, (std::vector<ItemId>{0, 1, 8, 9}));
+  EXPECT_EQ(ContiguousHotSpot(10, 0, 3), (std::vector<ItemId>{0, 1, 2}));
+}
+
+TEST(HotSpotTest, RandomIsDistinctAndBounded) {
+  Rng rng(3);
+  const auto hs = RandomHotSpot(100, 30, rng);
+  EXPECT_EQ(hs.size(), 30u);
+  for (size_t i = 1; i < hs.size(); ++i) {
+    EXPECT_LT(hs[i - 1], hs[i]);  // sorted and distinct
+    EXPECT_LT(hs[i], 100u);
+  }
+}
+
+TEST(HotSpotTest, GridNeighborhoodClipsAtBorders) {
+  // 4x4 grid, centre (0,0), radius 1 -> 2x2 block.
+  const auto corner = GridNeighborhoodHotSpot(4, 4, 0, 0, 1);
+  EXPECT_EQ(corner, (std::vector<ItemId>{0, 1, 4, 5}));
+  // Centre (2,2), radius 1 -> 3x3 block.
+  const auto middle = GridNeighborhoodHotSpot(4, 4, 2, 2, 1);
+  EXPECT_EQ(middle.size(), 9u);
+  EXPECT_EQ(middle[4], 2u * 4u + 2u);  // centre section in the middle
+}
+
+TEST(SleepModelTest, BernoulliExtremes) {
+  BernoulliSleepModel always_awake(0.0, 1);
+  BernoulliSleepModel always_asleep(1.0, 1);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(always_awake.AwakeForInterval(i));
+    EXPECT_FALSE(always_asleep.AwakeForInterval(i));
+  }
+}
+
+TEST(SleepModelTest, BernoulliFrequencyMatchesS) {
+  BernoulliSleepModel model(0.3, 5);
+  int asleep = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (!model.AwakeForInterval(static_cast<uint64_t>(i))) ++asleep;
+  }
+  EXPECT_NEAR(static_cast<double>(asleep) / trials, 0.3, 0.01);
+  EXPECT_DOUBLE_EQ(model.EffectiveSleepProbability(), 0.3);
+}
+
+TEST(SleepModelTest, RenewalMatchesStationaryEstimate) {
+  const double L = 10.0, mean_awake = 100.0, mean_sleep = 50.0;
+  RenewalSleepModel model(L, mean_awake, mean_sleep, 7);
+  int asleep = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    if (!model.AwakeForInterval(static_cast<uint64_t>(i))) ++asleep;
+  }
+  const double measured = static_cast<double>(asleep) / trials;
+  EXPECT_NEAR(measured, model.EffectiveSleepProbability(), 0.02);
+}
+
+TEST(SleepModelTest, RenewalAllAwakeWhenSleepNegligible) {
+  RenewalSleepModel model(1.0, 1e9, 1e-9, 7);
+  int awake = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (model.AwakeForInterval(static_cast<uint64_t>(i))) ++awake;
+  }
+  EXPECT_GT(awake, 990);
+}
+
+TEST(SleepModelTest, ZipfQueriesSkewTowardFirstItems) {
+  // Covered indirectly here because the MU owns the sampling: build two
+  // units, uniform vs Zipf, and compare which items go uplink.
+  // (See MobileUnitTest below for the rig.)
+  SUCCEED();
+}
+
+// A scripted uplink service for unit-testing the MU in isolation.
+class FakeUplink : public UplinkService {
+ public:
+  explicit FakeUplink(Simulator* sim) : sim_(sim) {}
+  FetchResult FetchItem(const UplinkQueryInfo& info) override {
+    queries.push_back(info);
+    return FetchResult{1000 + info.id, sim_->Now()};
+  }
+  Simulator* sim_;
+  std::vector<UplinkQueryInfo> queries;
+};
+
+struct MuRig {
+  explicit MuRig(double lambda = 0.2, double s = 0.0) {
+    MobileUnitConfig config;
+    config.latency = 10.0;
+    config.lambda_per_item = lambda;
+    config.hotspot = {0, 1, 2, 3, 4};
+    uplink = std::make_unique<FakeUplink>(&sim);
+    unit = std::make_unique<MobileUnit>(
+        &sim, config, std::make_unique<AtClientManager>(),
+        std::make_unique<BernoulliSleepModel>(s, 11), uplink.get(), 21);
+  }
+
+  // Broadcasts an AT report at T = 10 * interval.
+  void Broadcast(uint64_t interval, std::vector<ItemId> ids = {}) {
+    AtReport r;
+    r.interval = interval;
+    r.timestamp = 10.0 * static_cast<double>(interval);
+    r.ids = std::move(ids);
+    sim.RunUntil(r.timestamp);
+    unit->OnBroadcast(Report(r), 0.25);
+  }
+
+  Simulator sim;
+  std::unique_ptr<FakeUplink> uplink;
+  std::unique_ptr<MobileUnit> unit;
+};
+
+TEST(MobileUnitTest, QueriesAreQueuedAndAnsweredAtNextReport) {
+  MuRig rig;
+  ASSERT_TRUE(rig.unit->Start().ok());
+  rig.Broadcast(0);
+  rig.sim.RunUntil(10.0);  // interval 0 queries arrive
+  const uint64_t issued = rig.unit->stats().queries_issued;
+  EXPECT_GT(issued, 0u);
+  EXPECT_EQ(rig.unit->stats().queries_answered, 0u);
+  rig.Broadcast(1);
+  EXPECT_GT(rig.unit->stats().queries_answered, 0u);
+  // Everything was a miss (cold cache) and went uplink once per item batch.
+  EXPECT_EQ(rig.unit->stats().hits, 0u);
+  EXPECT_EQ(rig.uplink->queries.size(), rig.unit->stats().misses);
+}
+
+TEST(MobileUnitTest, SecondRoundHitsCachedItems) {
+  MuRig rig(/*lambda=*/1.0);  // hot: every item queried every interval
+  ASSERT_TRUE(rig.unit->Start().ok());
+  rig.Broadcast(0);
+  rig.sim.RunUntil(10.0);
+  rig.Broadcast(1);  // answers, fills cache
+  rig.sim.RunUntil(20.0);
+  rig.Broadcast(2);  // no changes -> all hits
+  EXPECT_GT(rig.unit->stats().hits, 0u);
+  EXPECT_GT(rig.unit->stats().reports_heard, 0u);
+  EXPECT_GT(rig.unit->stats().listen_seconds, 0.0);
+}
+
+TEST(MobileUnitTest, BatchesMergeSameItemQueries) {
+  MuRig rig(/*lambda=*/5.0);  // ~50 arrivals per item per interval
+  ASSERT_TRUE(rig.unit->Start().ok());
+  rig.Broadcast(0);
+  rig.sim.RunUntil(10.0);
+  rig.Broadcast(1);
+  const MobileUnitStats& st = rig.unit->stats();
+  EXPECT_GT(st.queries_issued, st.queries_answered);
+  // At most one batch per hot-spot item.
+  EXPECT_LE(st.queries_answered, 5u);
+}
+
+TEST(MobileUnitTest, AsleepUnitMissesReportsAndIssuesNoQueries) {
+  MuRig rig(/*lambda=*/0.2, /*s=*/1.0);
+  ASSERT_TRUE(rig.unit->Start().ok());
+  rig.Broadcast(0);
+  rig.sim.RunUntil(10.0);
+  rig.Broadcast(1);
+  EXPECT_EQ(rig.unit->stats().queries_issued, 0u);
+  EXPECT_EQ(rig.unit->stats().reports_heard, 0u);
+  EXPECT_EQ(rig.unit->stats().reports_missed, 2u);
+  EXPECT_FALSE(rig.unit->awake());
+}
+
+TEST(MobileUnitTest, PendingQueriesSurviveSleepAndAnswerLater) {
+  // Deterministic pattern: awake in interval 0, asleep in 1, awake in 2.
+  MobileUnitConfig config;
+  config.latency = 10.0;
+  config.lambda_per_item = 2.0;
+  config.hotspot = {0};
+  Simulator sim;
+  FakeUplink uplink(&sim);
+
+  class ScriptedSleep : public SleepModel {
+   public:
+    bool AwakeForInterval(uint64_t interval) override {
+      return interval != 1;
+    }
+    double EffectiveSleepProbability() const override { return 0.0; }
+  };
+
+  MobileUnit unit(&sim, config, std::make_unique<AtClientManager>(),
+                  std::make_unique<ScriptedSleep>(), &uplink, 21);
+  ASSERT_TRUE(unit.Start().ok());
+
+  auto broadcast = [&](uint64_t i) {
+    AtReport r;
+    r.interval = i;
+    r.timestamp = 10.0 * static_cast<double>(i);
+    sim.RunUntil(r.timestamp);
+    unit.OnBroadcast(Report(r), 0.0);
+  };
+  broadcast(0);
+  sim.RunUntil(10.0);  // queries issued during interval 0
+  ASSERT_GT(unit.stats().queries_issued, 0u);
+  broadcast(1);  // asleep: missed; pending queries wait
+  EXPECT_EQ(unit.stats().queries_answered, 0u);
+  sim.RunUntil(20.0);
+  broadcast(2);  // awake again: pending from interval 0 answered now
+  EXPECT_EQ(unit.stats().queries_answered, 1u);  // one batch for item 0
+  EXPECT_GT(unit.stats().answer_latency.mean(), 10.0);
+}
+
+TEST(MobileUnitTest, AnswerObserverSeesValues) {
+  MuRig rig(/*lambda=*/1.0);
+  std::vector<uint64_t> values;
+  rig.unit->SetAnswerObserver(
+      [&](ItemId, uint64_t value, SimTime, bool) { values.push_back(value); });
+  ASSERT_TRUE(rig.unit->Start().ok());
+  rig.Broadcast(0);
+  rig.sim.RunUntil(10.0);
+  rig.Broadcast(1);
+  ASSERT_FALSE(values.empty());
+  for (uint64_t v : values) EXPECT_GE(v, 1000u);  // FakeUplink values
+}
+
+TEST(MobileUnitTest, NoCacheManagerAlwaysGoesUplink) {
+  MobileUnitConfig config;
+  config.latency = 10.0;
+  config.lambda_per_item = 1.0;
+  config.hotspot = {0, 1};
+  Simulator sim;
+  FakeUplink uplink(&sim);
+  MobileUnit unit(&sim, config, std::make_unique<NoCacheClientManager>(),
+                  std::make_unique<BernoulliSleepModel>(0.0, 1), &uplink, 5);
+  ASSERT_TRUE(unit.Start().ok());
+  for (uint64_t i = 0; i <= 3; ++i) {
+    NullReport r;
+    r.interval = i;
+    r.timestamp = 10.0 * static_cast<double>(i);
+    sim.RunUntil(r.timestamp);
+    unit.OnBroadcast(Report(r), 0.0);
+  }
+  EXPECT_EQ(unit.stats().hits, 0u);
+  EXPECT_GT(unit.stats().misses, 0u);
+  EXPECT_TRUE(unit.cache()->empty());
+}
+
+TEST(MobileUnitTest, ZipfQueryPopularitySkewsItemChoice) {
+  // Low per-item rate so uplink batches approximate raw query counts
+  // (batching collapses same-interval repeats and would mask the skew).
+  MobileUnitConfig config;
+  config.latency = 10.0;
+  config.lambda_per_item = 0.05;
+  config.hotspot = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  config.query_zipf_theta = 1.2;
+  Simulator sim;
+  FakeUplink uplink(&sim);
+  MobileUnit unit(&sim, config, std::make_unique<NoCacheClientManager>(),
+                  std::make_unique<BernoulliSleepModel>(0.0, 1), &uplink, 5);
+  ASSERT_TRUE(unit.Start().ok());
+  for (uint64_t i = 0; i <= 2000; ++i) {
+    NullReport r;
+    r.interval = i;
+    r.timestamp = 10.0 * static_cast<double>(i);
+    sim.RunUntil(r.timestamp);
+    unit.OnBroadcast(Report(r), 0.0);
+  }
+  // Count uplink queries per item (no-cache: every batch goes uplink).
+  std::vector<uint64_t> counts(10, 0);
+  for (const auto& q : uplink.queries) ++counts[q.id];
+  // The first item must be queried far more often than the last
+  // (Zipf(1.2) pmf ratio is ~16; batching compresses it somewhat).
+  EXPECT_GT(counts[0], counts[9] * 3);
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  EXPECT_GT(total, 500u);
+}
+
+TEST(MobileUnitTest, ResetStatsClearsCounters) {
+  MuRig rig(1.0);
+  ASSERT_TRUE(rig.unit->Start().ok());
+  rig.Broadcast(0);
+  rig.sim.RunUntil(10.0);
+  rig.Broadcast(1);
+  ASSERT_GT(rig.unit->stats().queries_answered, 0u);
+  rig.unit->ResetStats();
+  EXPECT_EQ(rig.unit->stats().queries_answered, 0u);
+  EXPECT_EQ(rig.unit->stats().reports_heard, 0u);
+}
+
+}  // namespace
+}  // namespace mobicache

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "net/channel.h"
+#include "net/delivery.h"
+#include "net/energy.h"
+#include "sim/simulator.h"
+
+namespace mobicache {
+namespace {
+
+TEST(ChannelTest, DurationFollowsBandwidth) {
+  Simulator sim;
+  Channel ch(&sim, 10000.0);
+  EXPECT_DOUBLE_EQ(ch.Duration(10000), 1.0);
+  EXPECT_DOUBLE_EQ(ch.Duration(0), 0.0);
+}
+
+TEST(ChannelTest, FifoSerialization) {
+  Simulator sim;
+  Channel ch(&sim, 1000.0);
+  const SimTime first = ch.Transmit(1000, TrafficClass::kUplinkQuery);
+  EXPECT_DOUBLE_EQ(first, 1.0);
+  // Second transmission queues behind the first.
+  const SimTime second = ch.Transmit(500, TrafficClass::kDownlinkAnswer);
+  EXPECT_DOUBLE_EQ(second, 1.5);
+  EXPECT_DOUBLE_EQ(ch.BusyUntil(), 1.5);
+}
+
+TEST(ChannelTest, PreemptStartsImmediately) {
+  Simulator sim;
+  Channel ch(&sim, 1000.0);
+  ch.Transmit(5000, TrafficClass::kUplinkQuery);  // busy until t=5
+  const SimTime done = ch.Transmit(1000, TrafficClass::kReport, true);
+  EXPECT_DOUBLE_EQ(done, 1.0);        // starts at now=0 despite the backlog
+  EXPECT_DOUBLE_EQ(ch.BusyUntil(), 5.0);  // backlog end is preserved
+}
+
+TEST(ChannelTest, StatsAccountPerClass) {
+  Simulator sim;
+  Channel ch(&sim, 1000.0);
+  ch.Transmit(100, TrafficClass::kReport);
+  ch.Transmit(200, TrafficClass::kUplinkQuery);
+  ch.Transmit(300, TrafficClass::kDownlinkAnswer);
+  ch.Transmit(400, TrafficClass::kReport);
+  const ChannelStats& st = ch.stats();
+  EXPECT_EQ(st.report_bits, 500u);
+  EXPECT_EQ(st.uplink_query_bits, 200u);
+  EXPECT_EQ(st.downlink_answer_bits, 300u);
+  EXPECT_EQ(st.report_count, 2u);
+  EXPECT_EQ(st.uplink_query_count, 1u);
+  EXPECT_EQ(st.downlink_answer_count, 1u);
+  EXPECT_EQ(st.total_bits(), 1000u);
+  EXPECT_DOUBLE_EQ(st.busy_seconds, 1.0);
+}
+
+TEST(ChannelTest, ResetStatsKeepsReservation) {
+  Simulator sim;
+  Channel ch(&sim, 1000.0);
+  ch.Transmit(1000, TrafficClass::kReport);
+  ch.ResetStats();
+  EXPECT_EQ(ch.stats().total_bits(), 0u);
+  EXPECT_DOUBLE_EQ(ch.BusyUntil(), 1.0);
+}
+
+TEST(ChannelTest, TransmitAfterTimeAdvance) {
+  Simulator sim;
+  Channel ch(&sim, 1000.0);
+  ch.Transmit(1000, TrafficClass::kReport);  // busy until 1.0
+  sim.ScheduleAt(5.0, [] {});
+  sim.Run();
+  // Medium idle again; starts at now.
+  EXPECT_DOUBLE_EQ(ch.Transmit(1000, TrafficClass::kReport), 6.0);
+}
+
+TEST(DeliveryTest, IdealHasNoJitterAndNeedsSync) {
+  DeliveryModel d(DeliveryModelKind::kIdealPeriodic, 99.0, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(d.SampleJitter(), 0.0);
+  EXPECT_TRUE(d.RequiresTimeSync());
+  EXPECT_DOUBLE_EQ(d.ListenSeconds(0.0, 2.0), 2.0);
+}
+
+TEST(DeliveryTest, MulticastJitterHasConfiguredMean) {
+  DeliveryModel d(DeliveryModelKind::kMulticast, 0.5, 1);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += d.SampleJitter();
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+  EXPECT_FALSE(d.RequiresTimeSync());
+  // Doze-mode address filtering: the client only listens for the report.
+  EXPECT_DOUBLE_EQ(d.ListenSeconds(3.0, 2.0), 2.0);
+}
+
+TEST(DeliveryTest, CsmaChargesJitterAsListening) {
+  DeliveryModel d(DeliveryModelKind::kCsmaJitter, 0.5, 1);
+  EXPECT_DOUBLE_EQ(d.ListenSeconds(3.0, 2.0), 5.0);
+  EXPECT_FALSE(d.RequiresTimeSync());
+}
+
+TEST(DeliveryTest, ZeroMeanJitterIsZero) {
+  DeliveryModel d(DeliveryModelKind::kCsmaJitter, 0.0, 1);
+  EXPECT_DOUBLE_EQ(d.SampleJitter(), 0.0);
+}
+
+TEST(DeliveryTest, Names) {
+  EXPECT_STREQ(DeliveryModelName(DeliveryModelKind::kIdealPeriodic), "ideal");
+  EXPECT_STREQ(DeliveryModelName(DeliveryModelKind::kMulticast), "multicast");
+  EXPECT_STREQ(DeliveryModelName(DeliveryModelKind::kCsmaJitter), "csma");
+}
+
+TEST(EnergyTest, SplitsWindowByState) {
+  EnergyModel model;
+  model.rx_watts = 1.0;
+  model.tx_watts = 2.0;
+  model.idle_awake_watts = 0.5;
+  model.doze_watts = 0.1;
+  const EnergyBreakdown e =
+      ComputeClientEnergy(model, /*listen=*/2.0, /*tx=*/1.0,
+                          /*awake=*/10.0, /*total=*/100.0);
+  EXPECT_DOUBLE_EQ(e.listen_joules, 2.0);
+  EXPECT_DOUBLE_EQ(e.tx_joules, 2.0);
+  EXPECT_DOUBLE_EQ(e.idle_awake_joules, 3.5);  // 7 s idle * 0.5 W
+  EXPECT_DOUBLE_EQ(e.doze_joules, 9.0);        // 90 s dozing * 0.1 W
+  EXPECT_DOUBLE_EQ(e.total_joules(), 16.5);
+}
+
+TEST(EnergyTest, ClampsInconsistentInputs) {
+  EnergyModel model;
+  // Listening longer than awake: idle clamps at zero instead of negative.
+  const EnergyBreakdown e =
+      ComputeClientEnergy(model, 10.0, 5.0, 8.0, 8.0);
+  EXPECT_DOUBLE_EQ(e.idle_awake_joules, 0.0);
+  EXPECT_DOUBLE_EQ(e.doze_joules, 0.0);
+  EXPECT_GT(e.total_joules(), 0.0);
+}
+
+TEST(EnergyTest, DozeDominatesForSleepyClients) {
+  EnergyModel model;
+  const EnergyBreakdown sleepy =
+      ComputeClientEnergy(model, 0.5, 0.1, 10.0, 1000.0);
+  const EnergyBreakdown workaholic =
+      ComputeClientEnergy(model, 0.5, 0.1, 990.0, 1000.0);
+  EXPECT_LT(sleepy.total_joules(), workaholic.total_joules() / 5.0);
+}
+
+}  // namespace
+}  // namespace mobicache

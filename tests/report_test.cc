@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+
+namespace mobicache {
+namespace {
+
+MessageSizes Sizes() {
+  MessageSizes s;
+  s.bq = 128;
+  s.ba = 1024;
+  s.bT = 512;
+  s.id_bits = 10;
+  s.sig_bits = 16;
+  return s;
+}
+
+TEST(ReportTest, NullReportIsFree) {
+  Report r = NullReport{3, 30.0};
+  EXPECT_EQ(ReportSizeBits(r, Sizes()), 0u);
+  EXPECT_EQ(ReportInterval(r), 3u);
+  EXPECT_DOUBLE_EQ(ReportTimestamp(r), 30.0);
+}
+
+TEST(ReportTest, TsReportCostsIdPlusTimestampPerEntry) {
+  TsReport ts;
+  ts.interval = 5;
+  ts.timestamp = 50.0;
+  ts.window = 100.0;
+  ts.entries = {{1, 42.0}, {2, 43.0}, {3, 44.0}};
+  Report r = ts;
+  EXPECT_EQ(ReportSizeBits(r, Sizes()), 3u * (10u + 512u));
+  EXPECT_EQ(ReportInterval(r), 5u);
+}
+
+TEST(ReportTest, AtReportCostsIdPerEntry) {
+  AtReport at;
+  at.interval = 2;
+  at.timestamp = 20.0;
+  at.ids = {4, 5};
+  Report r = at;
+  EXPECT_EQ(ReportSizeBits(r, Sizes()), 2u * 10u);
+}
+
+TEST(ReportTest, SigReportCostsGPerSignature) {
+  SigReport sig;
+  sig.interval = 1;
+  sig.timestamp = 10.0;
+  sig.combined.assign(700, 0);
+  Report r = sig;
+  EXPECT_EQ(ReportSizeBits(r, Sizes()), 700u * 16u);
+}
+
+TEST(ReportTest, AdaptiveReportAddsWindowAnnouncements) {
+  AdaptiveTsReport ats;
+  ats.interval = 4;
+  ats.timestamp = 40.0;
+  ats.entries = {{1, 39.0}};
+  ats.window_changes = {{2, 16}, {3, 0}};
+  ats.window_bits = 9;
+  Report r = ats;
+  EXPECT_EQ(ReportSizeBits(r, Sizes()), (10u + 512u) + 2u * (10u + 9u));
+}
+
+TEST(ReportTest, EmptyReportsCostNothing) {
+  EXPECT_EQ(ReportSizeBits(TsReport{}, Sizes()), 0u);
+  EXPECT_EQ(ReportSizeBits(AtReport{}, Sizes()), 0u);
+  EXPECT_EQ(ReportSizeBits(SigReport{}, Sizes()), 0u);
+}
+
+}  // namespace
+}  // namespace mobicache

@@ -1,0 +1,152 @@
+// Unit tests for the cell server: broadcast schedule, delivery, uplink
+// accounting, journal pruning, and the report observer hook.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/at.h"
+#include "core/nocache.h"
+#include "core/ts.h"
+#include "db/database.h"
+#include "mu/mobile_unit.h"
+#include "mu/sleep_model.h"
+#include "net/channel.h"
+#include "net/delivery.h"
+#include "server/server.h"
+#include "sim/simulator.h"
+
+namespace mobicache {
+namespace {
+
+TEST(ServerTest, ScheduleAndObserver) {
+  Database db(100, 1);
+  Simulator sim;
+  Channel channel(&sim, 1e4);
+  ServerConfig config;
+  config.latency = 10.0;
+  Server server(&sim, &db, &channel,
+                std::make_unique<AtServerStrategy>(&db, 10.0), nullptr,
+                config);
+  std::vector<double> report_times;
+  server.SetReportObserver([&](const Report& r) {
+    report_times.push_back(ReportTimestamp(r));
+  });
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.Start().ok());  // double start
+  sim.RunUntil(35.0);
+  server.Stop();
+  EXPECT_EQ(report_times, (std::vector<double>{0.0, 10.0, 20.0, 30.0}));
+  EXPECT_EQ(server.stats().reports_broadcast, 4u);
+}
+
+TEST(ServerTest, ReportBitsTracked) {
+  Database db(100, 1);
+  Simulator sim;
+  Channel channel(&sim, 1e4);
+  ServerConfig config;
+  config.latency = 10.0;
+  config.sizes.id_bits = 7;
+  Server server(&sim, &db, &channel,
+                std::make_unique<AtServerStrategy>(&db, 10.0), nullptr,
+                config);
+  ASSERT_TRUE(server.Start().ok());
+  sim.ScheduleAt(5.0, [&] { db.ApplyUpdate(3, 5.0); });
+  sim.ScheduleAt(6.0, [&] { db.ApplyUpdate(4, 6.0); });
+  sim.RunUntil(15.0);
+  server.Stop();
+  // Report at T=10 carried two 7-bit ids.
+  EXPECT_DOUBLE_EQ(server.stats().report_bits.max(), 14.0);
+  EXPECT_EQ(channel.stats().report_bits, 14u);
+}
+
+TEST(ServerTest, FetchItemChargesChannelAndAnswersCurrentValue) {
+  Database db(100, 1);
+  Simulator sim;
+  Channel channel(&sim, 1e4);
+  ServerConfig config;
+  config.latency = 10.0;
+  config.sizes.bq = 100;
+  config.sizes.ba = 900;
+  Server server(&sim, &db, &channel,
+                std::make_unique<AtServerStrategy>(&db, 10.0), nullptr,
+                config);
+  db.ApplyUpdate(5, 1.0);
+  UplinkQueryInfo info;
+  info.id = 5;
+  info.time = 2.0;
+  const UplinkService::FetchResult result = server.FetchItem(info);
+  EXPECT_EQ(result.value, db.Get(5).value);
+  EXPECT_EQ(channel.stats().uplink_query_bits, 100u);
+  EXPECT_EQ(channel.stats().downlink_answer_bits, 900u);
+  EXPECT_EQ(server.stats().uplink_queries_served, 1u);
+}
+
+TEST(ServerTest, PrunesJournalBeyondStrategyHorizon) {
+  Database db(100, 1);
+  Simulator sim;
+  Channel channel(&sim, 1e4);
+  ServerConfig config;
+  config.latency = 10.0;
+  config.journal_slack_intervals = 1;
+  Server server(&sim, &db, &channel,
+                std::make_unique<AtServerStrategy>(&db, 10.0), nullptr,
+                config);
+  ASSERT_TRUE(server.Start().ok());
+  for (int i = 0; i < 20; ++i) {
+    const double t = static_cast<double>(i) * 5.0 + 1.0;
+    sim.ScheduleAt(t, [&db, t] {
+      db.ApplyUpdate(static_cast<ItemId>(t), t);
+    });
+  }
+  sim.RunUntil(100.0);
+  server.Stop();
+  // Horizon = L + slack = 20 s: at T=100 only entries newer than ~80 stay.
+  EXPECT_LE(db.journal_size(), 6u);
+}
+
+TEST(ServerTest, JitteredDeliveryArrivesAfterNominalTime) {
+  Database db(100, 1);
+  Simulator sim;
+  Channel channel(&sim, 1e4);
+  DeliveryModel delivery(DeliveryModelKind::kCsmaJitter, 1.0, 3);
+  ServerConfig config;
+  config.latency = 10.0;
+
+  MobileUnitConfig mc;
+  mc.latency = 10.0;
+  mc.lambda_per_item = 0.0;  // no queries; just listen
+  mc.hotspot = {0};
+  Server server(&sim, &db, &channel,
+                std::make_unique<AtServerStrategy>(&db, 10.0), &delivery,
+                config);
+  MobileUnit unit(&sim, mc, std::make_unique<AtClientManager>(),
+                  std::make_unique<BernoulliSleepModel>(0.0, 1), &server, 9);
+  server.AttachUnit(&unit);
+  ASSERT_TRUE(unit.Start().ok());
+  ASSERT_TRUE(server.Start().ok());
+  sim.RunUntil(105.0);
+  server.Stop();
+  // The unit hears every report despite the jitter (mean 1 s << L).
+  EXPECT_EQ(unit.stats().reports_heard, 11u);
+  EXPECT_GT(unit.stats().listen_seconds, 0.0);
+}
+
+TEST(ServerTest, NullStrategyBroadcastsZeroBits) {
+  Database db(100, 1);
+  Simulator sim;
+  Channel channel(&sim, 1e4);
+  ServerConfig config;
+  config.latency = 10.0;
+  Server server(&sim, &db, &channel, std::make_unique<NullServerStrategy>(),
+                nullptr, config);
+  ASSERT_TRUE(server.Start().ok());
+  sim.RunUntil(50.0);
+  server.Stop();
+  EXPECT_EQ(channel.stats().report_bits, 0u);
+  EXPECT_EQ(server.stats().reports_broadcast, 6u);
+}
+
+}  // namespace
+}  // namespace mobicache

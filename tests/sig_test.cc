@@ -1,0 +1,276 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "sig/signature.h"
+
+namespace mobicache {
+namespace {
+
+SignatureParams SmallParams() {
+  SignatureParams p;
+  p.m = 600;
+  p.f = 5;
+  p.g = 16;
+  p.k_threshold = 1.25;
+  return p;
+}
+
+TEST(SigMathTest, MembershipProbability) {
+  EXPECT_DOUBLE_EQ(SubsetMembershipProbability(1), 0.5);
+  EXPECT_DOUBLE_EQ(SubsetMembershipProbability(9), 0.1);
+}
+
+TEST(SigMathTest, ValidItemMismatchProbabilityApproximation) {
+  // p ~= (1/(f+1)) (1 - 1/e) for moderate f and large g.
+  const double p = ValidItemMismatchProbability(10, 32);
+  EXPECT_NEAR(p, (1.0 / 11.0) * (1.0 - std::exp(-1.0)), 0.01);
+  // Increasing g increases p slightly (fewer masked collisions).
+  EXPECT_LT(ValidItemMismatchProbability(10, 1),
+            ValidItemMismatchProbability(10, 32));
+}
+
+TEST(SigMathTest, FalseAlarmBoundShrinksWithM) {
+  const double loose = FalseAlarmProbabilityBound(100, 10, 16, 2.0);
+  const double tight = FalseAlarmProbabilityBound(2000, 10, 16, 2.0);
+  EXPECT_GT(loose, tight);
+  EXPECT_GT(tight, 0.0);
+  EXPECT_LT(loose, 1.0);
+}
+
+TEST(SigMathTest, SizingFormulas) {
+  // Eq. 24: m = 6 (f+1)(ln(1/delta) + ln n).
+  const uint32_t m = PaperRequiredSignatures(1000, 10, 0.05);
+  const double expected = 6.0 * 11.0 * (std::log(20.0) + std::log(1000.0));
+  EXPECT_NEAR(static_cast<double>(m), expected, 1.0);
+  // The general bound with K = 2 is within a constant of the paper bound.
+  const uint32_t general = RequiredSignatures(1000, 10, 16, 0.05, 2.0);
+  EXPECT_GT(general, m / 3);
+  EXPECT_LT(general, m * 3);
+  // More items or smaller delta need more signatures.
+  EXPECT_GT(PaperRequiredSignatures(1000000, 10, 0.05), m);
+  EXPECT_GT(PaperRequiredSignatures(1000, 10, 0.001), m);
+}
+
+TEST(SignatureFamilyTest, SubsetsAreDeterministicAndSorted) {
+  SignatureFamily fam(1000, SmallParams(), 77);
+  const auto a = fam.SubsetsOf(123);
+  const auto b = fam.SubsetsOf(123);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  for (uint32_t j : a) EXPECT_LT(j, SmallParams().m);
+}
+
+TEST(SignatureFamilyTest, MembershipFrequencyMatchesProbability) {
+  SignatureFamily fam(2000, SmallParams(), 77);
+  uint64_t total = 0;
+  for (ItemId i = 0; i < 2000; ++i) total += fam.SubsetsOf(i).size();
+  const double avg = static_cast<double>(total) / 2000.0;
+  const double expected = 600.0 / 6.0;  // m / (f+1)
+  EXPECT_NEAR(avg, expected, expected * 0.05);
+}
+
+TEST(SignatureFamilyTest, ContainsAgreesWithSubsetsOf) {
+  SignatureFamily fam(100, SmallParams(), 77);
+  for (ItemId i = 0; i < 20; ++i) {
+    const auto subsets = fam.SubsetsOf(i);
+    for (uint32_t j : subsets) EXPECT_TRUE(fam.Contains(j, i));
+    // Spot-check some non-members.
+    uint32_t misses = 0;
+    for (uint32_t j = 0; j < 50 && misses < 5; ++j) {
+      if (!std::binary_search(subsets.begin(), subsets.end(), j)) {
+        EXPECT_FALSE(fam.Contains(j, i));
+        ++misses;
+      }
+    }
+  }
+}
+
+TEST(SignatureFamilyTest, ItemSignatureRespectsBitWidth) {
+  SignatureParams p = SmallParams();
+  p.g = 8;
+  SignatureFamily fam(100, p, 77);
+  for (uint64_t v = 0; v < 1000; ++v) {
+    EXPECT_LT(fam.ItemSignature(v * 0x9E3779B9ULL), 256u);
+  }
+  p.g = 64;
+  SignatureFamily fam64(100, p, 77);
+  // With 64 bits some signature should exceed 32-bit range.
+  bool large_seen = false;
+  for (uint64_t v = 0; v < 100; ++v) {
+    if (fam64.ItemSignature(v) > 0xFFFFFFFFULL) large_seen = true;
+  }
+  EXPECT_TRUE(large_seen);
+}
+
+TEST(SignatureFamilyTest, ReportBitsIsMTimesG) {
+  SignatureFamily fam(100, SmallParams(), 77);
+  EXPECT_EQ(fam.ReportBits(), 600u * 16u);
+}
+
+TEST(ServerSignatureStateTest, IncrementalMatchesRebuild) {
+  Database db(500, 9);
+  SignatureFamily fam(500, SmallParams(), 77);
+  ServerSignatureState state(&fam, &db);
+
+  // Apply updates, folding each in.
+  for (int round = 0; round < 50; ++round) {
+    const ItemId id = static_cast<ItemId>((round * 37) % 500);
+    db.ApplyUpdate(id, static_cast<double>(round + 1));
+    state.OnItemChanged(id);
+  }
+  // A state rebuilt from scratch must agree.
+  ServerSignatureState fresh(&fam, &db);
+  EXPECT_EQ(state.Combined(), fresh.Combined());
+}
+
+TEST(ServerSignatureStateTest, RepeatedFoldIsIdempotent) {
+  Database db(100, 9);
+  SignatureFamily fam(100, SmallParams(), 77);
+  ServerSignatureState state(&fam, &db);
+  db.ApplyUpdate(5, 1.0);
+  state.OnItemChanged(5);
+  const auto once = state.Combined();
+  state.OnItemChanged(5);  // no further change
+  EXPECT_EQ(state.Combined(), once);
+}
+
+TEST(ClientSignatureViewTest, FirstDiagnosisDropsEverythingAndAdopts) {
+  Database db(200, 9);
+  SignatureFamily fam(200, SmallParams(), 77);
+  ServerSignatureState server(&fam, &db);
+  std::vector<ItemId> interest{1, 2, 3, 4, 5};
+  ClientSignatureView view(&fam, interest);
+  EXPECT_FALSE(view.has_baseline());
+  const auto invalid = view.DiagnoseAndAdopt(server.Combined(), {1, 2, 3});
+  EXPECT_EQ(invalid.size(), 3u);
+  EXPECT_TRUE(view.has_baseline());
+}
+
+TEST(ClientSignatureViewTest, DetectsChangedCachedItems) {
+  Database db(200, 9);
+  SignatureFamily fam(200, SmallParams(), 77);
+  ServerSignatureState server(&fam, &db);
+  std::vector<ItemId> interest{1, 2, 3, 4, 5};
+  ClientSignatureView view(&fam, interest);
+  view.DiagnoseAndAdopt(server.Combined(), {});  // adopt clean baseline
+
+  db.ApplyUpdate(3, 1.0);
+  server.OnItemChanged(3);
+  const auto invalid = view.DiagnoseAndAdopt(server.Combined(), {1, 2, 3});
+  // Item 3 must be diagnosed; 1 and 2 are usually clean (false alarms are
+  // possible but rare at these parameters — assert 3 is present).
+  EXPECT_NE(std::find(invalid.begin(), invalid.end(), 3), invalid.end());
+}
+
+TEST(ClientSignatureViewTest, NoChangesMeansNoInvalidations) {
+  Database db(200, 9);
+  SignatureFamily fam(200, SmallParams(), 77);
+  ServerSignatureState server(&fam, &db);
+  ClientSignatureView view(&fam, {1, 2, 3});
+  view.DiagnoseAndAdopt(server.Combined(), {});
+  const auto invalid = view.DiagnoseAndAdopt(server.Combined(), {1, 2, 3});
+  EXPECT_TRUE(invalid.empty());
+}
+
+TEST(ClientSignatureViewTest, FalseAlarmRateIsLow) {
+  // Many rounds of unrelated-item churn: cached items of this client should
+  // rarely be invalidated.
+  Database db(2000, 9);
+  SignatureParams params;
+  params.f = 10;
+  params.g = 16;
+  params.k_threshold = 1.25;
+  params.m = PaperRequiredSignatures(2000, params.f, 0.05);
+  SignatureFamily fam(2000, params, 77);
+  ServerSignatureState server(&fam, &db);
+  std::vector<ItemId> interest{10, 20, 30, 40, 50};
+  ClientSignatureView view(&fam, interest);
+  view.DiagnoseAndAdopt(server.Combined(), {});
+
+  uint64_t false_alarms = 0, opportunities = 0;
+  double t = 1.0;
+  for (int round = 0; round < 200; ++round) {
+    // f unrelated items change per round.
+    for (uint32_t i = 0; i < params.f; ++i) {
+      const ItemId id = static_cast<ItemId>(100 + ((round * 31 + i * 7) %
+                                                   1800));
+      db.ApplyUpdate(id, t);
+      server.OnItemChanged(id);
+      t += 1.0;
+    }
+    const auto invalid = view.DiagnoseAndAdopt(server.Combined(), interest);
+    false_alarms += invalid.size();
+    opportunities += interest.size();
+  }
+  const double rate =
+      static_cast<double>(false_alarms) / static_cast<double>(opportunities);
+  EXPECT_LT(rate, 0.05);
+}
+
+TEST(ClientSignatureViewTest, PerItemThresholdDetectsAndSparesReliably) {
+  Database db(500, 9);
+  SignatureParams params = SmallParams();
+  params.per_item_threshold = true;
+  params.gamma = 0.8;
+  params.m = PaperRequiredSignatures(500, params.f, 0.05);
+  SignatureFamily fam(500, params, 77);
+  ServerSignatureState server(&fam, &db);
+  std::vector<ItemId> interest{1, 2, 3, 4, 5};
+  ClientSignatureView view(&fam, interest);
+  view.DiagnoseAndAdopt(server.Combined(), {});
+
+  uint64_t missed = 0, false_alarms = 0;
+  double t = 1.0;
+  for (int round = 0; round < 100; ++round) {
+    // One cached item changes plus f-1 unrelated ones.
+    db.ApplyUpdate(2, t);
+    server.OnItemChanged(2);
+    t += 1.0;
+    for (uint32_t i = 0; i + 1 < params.f; ++i) {
+      const ItemId id = static_cast<ItemId>(100 + (round * 17 + i) % 350);
+      db.ApplyUpdate(id, t);
+      server.OnItemChanged(id);
+      t += 1.0;
+    }
+    const auto invalid = view.DiagnoseAndAdopt(server.Combined(), interest);
+    if (std::find(invalid.begin(), invalid.end(), 2) == invalid.end()) {
+      ++missed;
+    }
+    false_alarms += invalid.size() -
+                    (std::find(invalid.begin(), invalid.end(), 2) !=
+                             invalid.end()
+                         ? 1
+                         : 0);
+  }
+  EXPECT_EQ(missed, 0u);  // a changed item is always diagnosed
+  EXPECT_LT(false_alarms, 20u);  // valid items rarely dragged along
+}
+
+TEST(ClientSignatureViewTest, DetectionSurvivesManySimultaneousChanges) {
+  // More than f items change at once: the scheme may over-invalidate but
+  // must still catch the genuinely changed cached item.
+  Database db(500, 9);
+  SignatureParams params = SmallParams();
+  params.m = PaperRequiredSignatures(500, params.f, 0.05);
+  SignatureFamily fam(500, params, 77);
+  ServerSignatureState server(&fam, &db);
+  std::vector<ItemId> interest{1, 2, 3};
+  ClientSignatureView view(&fam, interest);
+  view.DiagnoseAndAdopt(server.Combined(), {});
+
+  db.ApplyUpdate(2, 1.0);
+  server.OnItemChanged(2);
+  for (int i = 0; i < 30; ++i) {  // 6x the design point f = 5
+    const ItemId id = static_cast<ItemId>(100 + i);
+    db.ApplyUpdate(id, 2.0 + i);
+    server.OnItemChanged(id);
+  }
+  const auto invalid = view.DiagnoseAndAdopt(server.Combined(), {1, 2, 3});
+  EXPECT_NE(std::find(invalid.begin(), invalid.end(), 2), invalid.end());
+}
+
+}  // namespace
+}  // namespace mobicache

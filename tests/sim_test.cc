@@ -1,0 +1,173 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace mobicache {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0.0);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, DispatchesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(3.0, [&] { order.push_back(3); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 3.0);
+}
+
+TEST(SimulatorTest, EqualTimesFireFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5.0, [&, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.ScheduleAt(2.0, [&] {
+    sim.ScheduleAfter(3.0, [&] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(SimulatorTest, CancelPreventsDispatch) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.ScheduleAt(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // second cancel is a no-op
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  std::vector<double> times;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.ScheduleAt(t, [&, t] { times.push_back(t); });
+  }
+  EXPECT_EQ(sim.RunUntil(2.5), 2u);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.5);
+  EXPECT_EQ(sim.RunUntil(10.0), 2u);
+  EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
+}
+
+TEST(SimulatorTest, EventAtBoundaryIsIncluded) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAt(2.0, [&] { fired = true; });
+  sim.RunUntil(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleAt(static_cast<double>(i + 1), [&] {
+      if (++count == 2) sim.Stop();
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(count, 2);
+  // A later Run resumes the remaining events.
+  sim.Run();
+  EXPECT_EQ(count, 5);
+}
+
+TEST(SimulatorTest, StepDispatchesOne) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleAt(1.0, [&] { ++count; });
+  sim.ScheduleAt(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringDispatchRun) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(1.0, [&] {
+    order.push_back(1);
+    sim.ScheduleAt(1.0, [&] { order.push_back(2); });  // same time, later seq
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTest, DispatchedEventsCounts) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.ScheduleAt(1.0, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.DispatchedEvents(), 7u);
+}
+
+TEST(PeriodicProcessTest, FiresAtFixedPeriod) {
+  Simulator sim;
+  std::vector<double> fire_times;
+  std::vector<uint64_t> ticks;
+  PeriodicProcess proc(&sim, 0.0, 10.0, [&](uint64_t tick) {
+    fire_times.push_back(sim.Now());
+    ticks.push_back(tick);
+  });
+  ASSERT_TRUE(proc.Start().ok());
+  sim.RunUntil(35.0);
+  proc.Stop();
+  EXPECT_EQ(fire_times, (std::vector<double>{0.0, 10.0, 20.0, 30.0}));
+  EXPECT_EQ(ticks, (std::vector<uint64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(proc.ticks_fired(), 4u);
+}
+
+TEST(PeriodicProcessTest, RejectsBadPeriodAndDoubleStart) {
+  Simulator sim;
+  PeriodicProcess bad(&sim, 0.0, 0.0, [](uint64_t) {});
+  EXPECT_FALSE(bad.Start().ok());
+  PeriodicProcess good(&sim, 0.0, 1.0, [](uint64_t) {});
+  EXPECT_TRUE(good.Start().ok());
+  EXPECT_EQ(good.Start().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PeriodicProcessTest, StopFromCallback) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicProcess proc(&sim, 0.0, 1.0, [&](uint64_t) {
+    if (++fired == 3) sim.Stop();
+  });
+  ASSERT_TRUE(proc.Start().ok());
+  sim.Run();
+  proc.Stop();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicProcessTest, DestructionCancelsPendingTick) {
+  Simulator sim;
+  int fired = 0;
+  {
+    PeriodicProcess proc(&sim, 0.0, 1.0, [&](uint64_t) { ++fired; });
+    ASSERT_TRUE(proc.Start().ok());
+    sim.RunUntil(2.5);
+  }
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired, 3);  // ticks at 0, 1, 2 only
+}
+
+}  // namespace
+}  // namespace mobicache

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/ts.h"
+#include "db/database.h"
+
+namespace mobicache {
+namespace {
+
+// L = 10 s, k = 3 intervals -> w = 30 s.
+constexpr double kL = 10.0;
+constexpr uint64_t kK = 3;
+
+TsReport Build(TsServerStrategy& server, uint64_t interval) {
+  return std::get<TsReport>(
+      server.BuildReport(kL * static_cast<double>(interval), interval));
+}
+
+TEST(TsServerTest, ReportsItemsInWindowWithTimestamps) {
+  Database db(100, 1);
+  TsServerStrategy server(&db, kL, kK);
+  EXPECT_DOUBLE_EQ(server.window(), 30.0);
+
+  db.ApplyUpdate(1, 5.0);    // inside window at T=30
+  db.ApplyUpdate(2, 25.0);   // inside
+  const TsReport report = Build(server, 3);  // T=30, window (0, 30]
+  ASSERT_EQ(report.entries.size(), 2u);
+  EXPECT_EQ(report.entries[0].id, 1u);
+  EXPECT_DOUBLE_EQ(report.entries[0].updated_at, 5.0);
+  EXPECT_EQ(report.entries[1].id, 2u);
+  EXPECT_DOUBLE_EQ(report.window, 30.0);
+  EXPECT_DOUBLE_EQ(report.timestamp, 30.0);
+}
+
+TEST(TsServerTest, OldUpdatesAgeOutOfTheWindow) {
+  Database db(100, 1);
+  TsServerStrategy server(&db, kL, kK);
+  db.ApplyUpdate(1, 5.0);
+  // At T=40 the window is (10, 40]: the update at 5.0 is gone.
+  EXPECT_TRUE(Build(server, 4).entries.empty());
+}
+
+TEST(TsServerTest, JournalHorizonIsWindow) {
+  Database db(100, 1);
+  TsServerStrategy server(&db, kL, kK);
+  EXPECT_DOUBLE_EQ(server.JournalHorizonSeconds(), 30.0);
+}
+
+TEST(TsClientTest, FirstReportClearsCache) {
+  ClientCache cache;
+  cache.Put(1, 11, 0.0);
+  TsClientManager client(kK);
+  EXPECT_FALSE(client.HasValidBaseline());
+  TsReport report;
+  report.interval = 1;
+  report.timestamp = 10.0;
+  EXPECT_EQ(client.OnReport(report, &cache), 1u);
+  EXPECT_TRUE(cache.empty());
+  EXPECT_TRUE(client.HasValidBaseline());
+}
+
+TEST(TsClientTest, InvalidatesOnlyNewerUpdates) {
+  ClientCache cache;
+  TsClientManager client(kK);
+  TsReport r1;
+  r1.interval = 1;
+  r1.timestamp = 10.0;
+  client.OnReport(r1, &cache);
+
+  // Fetched uplink at t=12 and t=14.
+  client.OnUplinkFetch(1, 100, 12.0, &cache);
+  client.OnUplinkFetch(2, 200, 14.0, &cache);
+
+  TsReport r2;
+  r2.interval = 2;
+  r2.timestamp = 20.0;
+  r2.entries = {{1, 13.0},   // newer than the copy from 12.0 -> purge
+                {2, 13.5}};  // older than the copy from 14.0 -> keep
+  EXPECT_EQ(client.OnReport(r2, &cache), 1u);
+  EXPECT_FALSE(cache.Contains(1));
+  ASSERT_TRUE(cache.Contains(2));
+  // Surviving entries are revalidated through T_i.
+  EXPECT_DOUBLE_EQ(cache.Peek(2)->timestamp, 20.0);
+}
+
+TEST(TsClientTest, UnmentionedItemsRevalidate) {
+  ClientCache cache;
+  TsClientManager client(kK);
+  TsReport r1;
+  r1.interval = 1;
+  r1.timestamp = 10.0;
+  client.OnReport(r1, &cache);
+  client.OnUplinkFetch(5, 50, 11.0, &cache);
+
+  TsReport r2;
+  r2.interval = 2;
+  r2.timestamp = 20.0;
+  EXPECT_EQ(client.OnReport(r2, &cache), 0u);
+  EXPECT_DOUBLE_EQ(cache.Peek(5)->timestamp, 20.0);
+}
+
+TEST(TsClientTest, SurvivesNapsUpToWindow) {
+  ClientCache cache;
+  TsClientManager client(kK);
+  TsReport r1;
+  r1.interval = 1;
+  r1.timestamp = 10.0;
+  client.OnReport(r1, &cache);
+  client.OnUplinkFetch(7, 70, 10.5, &cache);
+
+  // Sleeps through intervals 2-3; hears report 4: gap = 3 = k -> keep.
+  TsReport r4;
+  r4.interval = 4;
+  r4.timestamp = 40.0;
+  EXPECT_EQ(client.OnReport(r4, &cache), 0u);
+  EXPECT_TRUE(cache.Contains(7));
+  EXPECT_EQ(client.last_interval_heard(), 4u);
+}
+
+TEST(TsClientTest, DropsEverythingBeyondWindow) {
+  ClientCache cache;
+  TsClientManager client(kK);
+  TsReport r1;
+  r1.interval = 1;
+  r1.timestamp = 10.0;
+  client.OnReport(r1, &cache);
+  client.OnUplinkFetch(7, 70, 10.5, &cache);
+  client.OnUplinkFetch(8, 80, 10.6, &cache);
+
+  // Gap of k+1 = 4 intervals: T_i - T_l > w -> drop the whole cache.
+  TsReport r5;
+  r5.interval = 5;
+  r5.timestamp = 50.0;
+  EXPECT_EQ(client.OnReport(r5, &cache), 2u);
+  EXPECT_TRUE(cache.empty());
+}
+
+TEST(TsClientTest, RecoverableAfterDrop) {
+  ClientCache cache;
+  TsClientManager client(kK);
+  TsReport r1;
+  r1.interval = 1;
+  r1.timestamp = 10.0;
+  client.OnReport(r1, &cache);
+  TsReport r9;
+  r9.interval = 9;
+  r9.timestamp = 90.0;
+  client.OnReport(r9, &cache);  // long nap: cache dropped (was empty)
+  client.OnUplinkFetch(3, 30, 91.0, &cache);
+  TsReport r10;
+  r10.interval = 10;
+  r10.timestamp = 100.0;
+  EXPECT_EQ(client.OnReport(r10, &cache), 0u);
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(TsClientTest, EqualTimestampIsNotInvalidation) {
+  // A copy fetched at exactly the update time already reflects the update.
+  ClientCache cache;
+  TsClientManager client(kK);
+  TsReport r1;
+  r1.interval = 1;
+  r1.timestamp = 10.0;
+  client.OnReport(r1, &cache);
+  client.OnUplinkFetch(1, 100, 12.0, &cache);
+  TsReport r2;
+  r2.interval = 2;
+  r2.timestamp = 20.0;
+  r2.entries = {{1, 12.0}};
+  EXPECT_EQ(client.OnReport(r2, &cache), 0u);
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+}  // namespace
+}  // namespace mobicache
