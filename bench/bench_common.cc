@@ -1,5 +1,8 @@
 #include "bench_common.h"
 
+#include <cerrno>
+#include <chrono>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -7,21 +10,55 @@
 #include <fstream>
 #include <string>
 
+#include "bench_json.h"
+#include "util/thread_pool.h"
+
 namespace mobicache {
 
 namespace {
 
+/// Matches --<name>=<value> and parses the value as a non-negative integer.
+/// Exits with a diagnostic on garbage ("--points=abc"), a negative sign, an
+/// empty value, trailing junk ("--points=12x"), or overflow: strtoull alone
+/// reports none of these, it just yields 0 or wraps, which used to surface
+/// as a misleading downstream error.
 bool ParseFlag(const char* arg, const char* name, uint64_t* out) {
   const size_t len = std::strlen(name);
   if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
-  *out = std::strtoull(arg + len + 1, nullptr, 10);
+  const char* value = arg + len + 1;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || value[0] == '-' || errno == ERANGE) {
+    std::fprintf(stderr, "invalid value for %s: '%s' (expected a "
+                 "non-negative integer)\n", name, value);
+    std::exit(2);
+  }
+  *out = parsed;
   return true;
+}
+
+/// Narrows a parsed flag to int, rejecting values an int cannot hold.
+int ToIntFlag(const char* name, uint64_t value) {
+  if (value > static_cast<uint64_t>(INT_MAX)) {
+    std::fprintf(stderr, "value for %s is too large: %llu (max %d)\n", name,
+                 static_cast<unsigned long long>(value), INT_MAX);
+    std::exit(2);
+  }
+  return static_cast<int>(value);
+}
+
+std::string BenchNameFromArgv0(const char* argv0) {
+  std::string name(argv0);
+  const size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name.empty() ? std::string("bench") : name;
 }
 
 }  // namespace
 
 SweepOptions ParseSweepArgs(int argc, char** argv, SweepOptions defaults,
-                            std::string* csv_path) {
+                            std::string* csv_path, std::string* json_path) {
   SweepOptions options = defaults;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -30,8 +67,12 @@ SweepOptions ParseSweepArgs(int argc, char** argv, SweepOptions defaults,
       options.simulate = false;
     } else if (std::strncmp(arg, "--csv=", 6) == 0) {
       if (csv_path != nullptr) *csv_path = arg + 6;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      if (json_path != nullptr) *json_path = "auto";
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      if (json_path != nullptr) *json_path = arg + 7;
     } else if (ParseFlag(arg, "--points", &value)) {
-      options.points = static_cast<int>(value);
+      options.points = ToIntFlag("--points", value);
     } else if (ParseFlag(arg, "--measure", &value)) {
       options.measure_intervals = value;
     } else if (ParseFlag(arg, "--warmup", &value)) {
@@ -42,11 +83,13 @@ SweepOptions ParseSweepArgs(int argc, char** argv, SweepOptions defaults,
       options.hotspot_size = value;
     } else if (ParseFlag(arg, "--seed", &value)) {
       options.seed = value;
+    } else if (ParseFlag(arg, "--threads", &value)) {
+      options.threads = ToIntFlag("--threads", value);
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--points=N] [--measure=N] "
                    "[--warmup=N] [--units=N] [--hotspot=N] [--seed=N] "
-                   "[--no-sim] [--csv=PATH]\n",
+                   "[--threads=N] [--no-sim] [--csv=PATH] [--json[=PATH]]\n",
                    arg, argv[0]);
       std::exit(2);
     }
@@ -58,10 +101,14 @@ int RunFigureBench(PaperScenario scenario,
                    const std::vector<StrategyKind>& strategies, int argc,
                    char** argv, SweepOptions defaults) {
   std::string csv_path;
+  std::string json_path;
   const SweepOptions options =
-      ParseSweepArgs(argc, argv, defaults, &csv_path);
+      ParseSweepArgs(argc, argv, defaults, &csv_path, &json_path);
   const ModelParams p = ScenarioParams(scenario);
   const ScenarioSweep spec = ScenarioSweepSpec(scenario);
+  const int threads_used = options.threads == 0
+                               ? static_cast<int>(ThreadPool::DefaultThreadCount())
+                               : options.threads;
 
   std::cout << ScenarioLabel(scenario) << "\n";
   std::printf(
@@ -74,23 +121,35 @@ int RunFigureBench(PaperScenario scenario,
   if (options.simulate) {
     std::printf(
         "simulation: %llu units, hotspot %llu, %llu+%llu intervals, seed "
-        "%llu\n\n",
+        "%llu, %d thread%s\n\n",
         static_cast<unsigned long long>(options.num_units),
         static_cast<unsigned long long>(options.hotspot_size),
         static_cast<unsigned long long>(options.warmup_intervals),
         static_cast<unsigned long long>(options.measure_intervals),
-        static_cast<unsigned long long>(options.seed));
+        static_cast<unsigned long long>(options.seed), threads_used,
+        threads_used == 1 ? "" : "s");
   } else {
     std::printf("analytic model only (--no-sim)\n\n");
   }
 
+  const auto start = std::chrono::steady_clock::now();
   const StatusOr<SweepResult> result =
       RunScenarioSweep(scenario, strategies, options);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   if (!result.ok()) {
     std::cerr << "sweep failed: " << result.status().ToString() << "\n";
     return 1;
   }
   PrintSweepTables(*result, std::cout);
+  std::printf("wall %.3fs  cells %llu  events %llu  (%.3g events/s)\n",
+              wall_seconds,
+              static_cast<unsigned long long>(result->simulated_cells),
+              static_cast<unsigned long long>(result->sim_events),
+              wall_seconds > 0.0
+                  ? static_cast<double>(result->sim_events) / wall_seconds
+                  : 0.0);
   if (!csv_path.empty()) {
     std::ofstream csv(csv_path);
     if (!csv) {
@@ -99,6 +158,20 @@ int RunFigureBench(PaperScenario scenario,
     }
     WriteSweepCsv(*result, csv);
     std::cout << "CSV written to " << csv_path << "\n";
+  }
+  if (!json_path.empty()) {
+    const std::string bench_name = BenchNameFromArgv0(argv[0]);
+    const std::string path =
+        json_path == "auto" ? "BENCH_" + bench_name + ".json" : json_path;
+    const BenchRecord record =
+        MakeBenchRecord(bench_name, std::string(ScenarioLabel(scenario)),
+                        *result, options, threads_used, wall_seconds);
+    const Status st = WriteBenchJson(record, path);
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "bench record written to " << path << "\n";
   }
   return 0;
 }

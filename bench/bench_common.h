@@ -14,14 +14,20 @@
 namespace mobicache {
 
 /// Parses --points=N --measure=N --warmup=N --units=N --hotspot=N --seed=N
-/// --no-sim --csv=PATH over the given defaults. Unknown flags abort with a
-/// usage message. `csv_path` (if any) is returned through the optional out
-/// parameter.
+/// --threads=N --no-sim --csv=PATH --json[=PATH] over the given defaults.
+/// Numeric flags reject non-numeric or overflowing values with a clear
+/// message. Unknown flags abort with a usage message. `csv_path` (if any) is
+/// returned through the optional out parameter; `json_path` likewise — a
+/// bare `--json` yields "auto", which RunFigureBench resolves to
+/// BENCH_<benchname>.json next to the working directory.
 SweepOptions ParseSweepArgs(int argc, char** argv, SweepOptions defaults,
-                            std::string* csv_path = nullptr);
+                            std::string* csv_path = nullptr,
+                            std::string* json_path = nullptr);
 
 /// Runs one paper figure: analytic curves plus (unless --no-sim) the
-/// matching simulated series, printed as aligned tables. Returns a process
+/// matching simulated series, printed as aligned tables. With --json, also
+/// emits a machine-readable BenchRecord (see bench_json.h) capturing wall
+/// time, events/sec, cells/sec, and the configuration. Returns a process
 /// exit code.
 int RunFigureBench(PaperScenario scenario,
                    const std::vector<StrategyKind>& strategies, int argc,

@@ -1,0 +1,113 @@
+#include "bench_json.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/thread_pool.h"
+
+namespace mobicache {
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::ostream& os) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+std::string Num(double v) {
+  // Shortest round-trippable representation keeps records diffable.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchRecord MakeBenchRecord(const std::string& name,
+                            const std::string& scenario,
+                            const SweepResult& result,
+                            const SweepOptions& options, int threads_used,
+                            double wall_seconds) {
+  BenchRecord record;
+  record.name = name;
+  record.scenario = scenario;
+  record.wall_seconds = wall_seconds;
+  record.sim_events = result.sim_events;
+  record.cells = result.simulated_cells;
+  if (wall_seconds > 0.0) {
+    record.events_per_sec =
+        static_cast<double>(result.sim_events) / wall_seconds;
+    record.cells_per_sec =
+        static_cast<double>(result.simulated_cells) / wall_seconds;
+  }
+  record.threads = threads_used;
+  record.hardware_concurrency = ThreadPool::DefaultThreadCount();
+  record.points = options.points;
+  record.num_units = options.num_units;
+  record.warmup_intervals = options.warmup_intervals;
+  record.measure_intervals = options.measure_intervals;
+  record.seed = options.seed;
+  record.simulate = options.simulate;
+  return record;
+}
+
+std::string BenchRecordToJson(const BenchRecord& r) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"name\": ";
+  AppendEscaped(r.name, os);
+  os << ",\n  \"scenario\": ";
+  AppendEscaped(r.scenario, os);
+  os << ",\n  \"wall_seconds\": " << Num(r.wall_seconds);
+  os << ",\n  \"sim_events\": " << r.sim_events;
+  os << ",\n  \"cells\": " << r.cells;
+  os << ",\n  \"events_per_sec\": " << Num(r.events_per_sec);
+  os << ",\n  \"cells_per_sec\": " << Num(r.cells_per_sec);
+  os << ",\n  \"threads\": " << r.threads;
+  os << ",\n  \"hardware_concurrency\": " << r.hardware_concurrency;
+  os << ",\n  \"points\": " << r.points;
+  os << ",\n  \"num_units\": " << r.num_units;
+  os << ",\n  \"warmup_intervals\": " << r.warmup_intervals;
+  os << ",\n  \"measure_intervals\": " << r.measure_intervals;
+  os << ",\n  \"seed\": " << r.seed;
+  os << ",\n  \"simulate\": " << (r.simulate ? "true" : "false");
+  os << "\n}\n";
+  return os.str();
+}
+
+Status WriteBenchJson(const BenchRecord& record, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  out << BenchRecordToJson(record);
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace mobicache

@@ -1,0 +1,58 @@
+// Machine-readable bench output: every figure bench can emit a
+// BENCH_<name>.json record (wall time, events/sec, cells/sec, and the
+// configuration that produced them) so perf changes are tracked as data
+// instead of anecdotes. The format is one flat JSON object per file;
+// anything that parses JSON can diff two records.
+
+#ifndef MOBICACHE_BENCH_BENCH_JSON_H_
+#define MOBICACHE_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "exp/sweep.h"
+#include "util/status.h"
+
+namespace mobicache {
+
+/// One bench run's record.
+struct BenchRecord {
+  std::string name;          ///< Bench name, e.g. "fig6_scenario4".
+  std::string scenario;      ///< Scenario label (empty for micro benches).
+  double wall_seconds = 0.0;
+
+  // Work accomplished.
+  uint64_t sim_events = 0;   ///< Discrete events dispatched across all cells.
+  uint64_t cells = 0;        ///< Simulation cells run.
+  double events_per_sec = 0.0;
+  double cells_per_sec = 0.0;
+
+  // Configuration that produced the numbers.
+  int threads = 0;           ///< Effective worker count.
+  unsigned hardware_concurrency = 0;
+  int points = 0;
+  uint64_t num_units = 0;
+  uint64_t warmup_intervals = 0;
+  uint64_t measure_intervals = 0;
+  uint64_t seed = 0;
+  bool simulate = true;
+};
+
+/// Fills the work/config fields from a finished sweep + its options and
+/// timing. `threads_used` is the effective count (after resolving 0 to the
+/// hardware default).
+BenchRecord MakeBenchRecord(const std::string& name,
+                            const std::string& scenario,
+                            const SweepResult& result,
+                            const SweepOptions& options, int threads_used,
+                            double wall_seconds);
+
+/// The record as a JSON object (pretty-printed, stable key order).
+std::string BenchRecordToJson(const BenchRecord& record);
+
+/// Writes BenchRecordToJson(record) to `path`.
+Status WriteBenchJson(const BenchRecord& record, const std::string& path);
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_BENCH_BENCH_JSON_H_

@@ -1,6 +1,8 @@
-// Google-benchmark micro-benchmarks for the hot paths: signature
-// computation and maintenance, report building and client application, and
-// the client cache. Run with --benchmark_filter=... as usual.
+// Google-benchmark micro-benchmarks for the hot paths: the event loop,
+// signature computation and maintenance, report building and client
+// application, and the client cache. Run with --benchmark_filter=... as
+// usual; emit the machine-readable record the perf trajectory tracks with
+//   micro_ops --benchmark_out=BENCH_micro_ops.json --benchmark_out_format=json
 
 #include <memory>
 #include <vector>
@@ -13,10 +15,54 @@
 #include "core/ts.h"
 #include "db/database.h"
 #include "sig/signature.h"
+#include "sim/simulator.h"
 #include "util/random.h"
 
 namespace mobicache {
 namespace {
+
+// Event-loop guard: schedule-then-dispatch throughput of the simulator's
+// inline-callback heap. A regression here (e.g. reintroducing a per-event
+// side-table lookup or allocation) slows every simulated cell in bench/.
+void BM_SimulatorScheduleDispatch(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Simulator sim;
+  double t = 0.0;
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      t += 0.25;
+      sim.ScheduleAt(t, [&sink] { ++sink; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_SimulatorScheduleDispatch)->Arg(16)->Arg(1024)->Arg(65536);
+
+// Cancellation guard: half the scheduled events are cancelled before the
+// run, exercising the O(1) tombstone path plus lazy heap removal.
+void BM_SimulatorScheduleCancel(benchmark::State& state) {
+  const int batch = 1024;
+  Simulator sim;
+  double t = 0.0;
+  uint64_t sink = 0;
+  std::vector<EventId> ids;
+  ids.reserve(batch);
+  for (auto _ : state) {
+    ids.clear();
+    for (int i = 0; i < batch; ++i) {
+      t += 0.25;
+      ids.push_back(sim.ScheduleAt(t, [&sink] { ++sink; }));
+    }
+    for (int i = 0; i < batch; i += 2) sim.Cancel(ids[i]);
+    sim.Run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_SimulatorScheduleCancel);
 
 void BM_ItemSignature(benchmark::State& state) {
   SignatureParams params;
@@ -32,7 +78,9 @@ void BM_ItemSignature(benchmark::State& state) {
 }
 BENCHMARK(BM_ItemSignature);
 
-void BM_SubsetsOf(benchmark::State& state) {
+// Cold path: every call regenerates the geometric membership stream (what
+// SubsetsOf used to cost on *every* update fold and report diagnosis).
+void BM_SubsetsOfCold(benchmark::State& state) {
   SignatureParams params;
   params.m = static_cast<uint32_t>(state.range(0));
   params.f = 10;
@@ -40,11 +88,28 @@ void BM_SubsetsOf(benchmark::State& state) {
   SignatureFamily family(1u << 20, params, 1);
   ItemId id = 0;
   for (auto _ : state) {
-    auto subsets = family.SubsetsOf(id++);
+    auto subsets = family.ComputeSubsetsOf(id++);
     benchmark::DoNotOptimize(subsets);
   }
 }
-BENCHMARK(BM_SubsetsOf)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_SubsetsOfCold)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// Memoized path: repeat lookups over a small working set, as the server's
+// per-update fold and the clients' per-report diagnosis actually issue them.
+void BM_SubsetsOfMemoized(benchmark::State& state) {
+  SignatureParams params;
+  params.m = static_cast<uint32_t>(state.range(0));
+  params.f = 10;
+  params.g = 16;
+  SignatureFamily family(1u << 20, params, 1);
+  ItemId id = 0;
+  for (auto _ : state) {
+    const auto& subsets = family.SubsetsOf(id);
+    id = (id + 1) % 256;
+    benchmark::DoNotOptimize(subsets.data());
+  }
+}
+BENCHMARK(BM_SubsetsOfMemoized)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_ServerSignatureFold(benchmark::State& state) {
   Database db(100000, 1);

@@ -348,6 +348,7 @@ CellResult Cell::result() const {
       decisions == 0 ? 0.0
                      : static_cast<double>(r.reports_missed) /
                            static_cast<double>(decisions);
+  r.sim_events = sim_->DispatchedEvents();
   r.channel = channel_->stats();
 
   const StrategyEval eval = EvalFromMeasurements(config_.model, r.hit_ratio,

@@ -105,6 +105,9 @@ struct CellResult {
   double measured_sleep_fraction = 0.0;
   uint64_t items_invalidated = 0;
   double listen_seconds_total = 0.0;
+  /// Events the simulator dispatched over the whole run (warmup included);
+  /// the bench harness's events/sec denominator.
+  uint64_t sim_events = 0;
   ChannelStats channel;
 
   // Derived through Eq. 9/10 from the measured hit ratio and report size.

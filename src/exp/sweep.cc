@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace mobicache {
 
@@ -45,11 +47,44 @@ StatusOr<SweepResult> RunScenarioSweep(PaperScenario scenario,
   return RunScenarioSweepWithIdBits(scenario, kinds, options, /*id_bits=*/0);
 }
 
+namespace {
+
+// One feasible (strategy, point) simulation cell, ready to run. Jobs are
+// fully independent: the seed is a pure function of the grid position (kind,
+// point index), and each job writes only its own slot in the results grid,
+// so the parallel engine reproduces the sequential run byte for byte at any
+// thread count.
+struct SweepJob {
+  size_t series_index = 0;
+  size_t point_index = 0;
+  CellConfig config;
+};
+
+// Builds, runs, and harvests one cell. `slot`/`status` belong exclusively
+// to this job.
+void RunSweepJob(const SweepJob& job, uint64_t warmup_intervals,
+                 uint64_t measure_intervals,
+                 std::optional<CellResult>* slot, Status* status) {
+  Cell cell(job.config);
+  Status s = cell.Build();
+  if (s.ok()) s = cell.Run(warmup_intervals, measure_intervals);
+  if (!s.ok()) {
+    *status = std::move(s);
+    return;
+  }
+  slot->emplace(cell.result());
+}
+
+}  // namespace
+
 StatusOr<SweepResult> RunScenarioSweepWithIdBits(
     PaperScenario scenario, const std::vector<StrategyKind>& kinds,
     const SweepOptions& options, uint64_t id_bits) {
   if (options.points < 2) {
     return Status::InvalidArgument("sweep needs at least 2 points");
+  }
+  if (options.threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0");
   }
   SweepResult result;
   result.scenario = scenario;
@@ -62,6 +97,10 @@ StatusOr<SweepResult> RunScenarioSweepWithIdBits(
     result.xs.push_back(x);
   }
 
+  // Pass 1 (serial, cheap): the analytic series, which also decides which
+  // cells are feasible to simulate. Pre-sizes the measured grid so parallel
+  // jobs can write their slots without coordination.
+  std::vector<SweepJob> jobs;
   for (StrategyKind kind : kinds) {
     StrategySeries series;
     series.kind = kind;
@@ -77,29 +116,68 @@ StatusOr<SweepResult> RunScenarioSweepWithIdBits(
         params.mu = result.xs[i];
       }
       series.analytic.push_back(EvalStrategyModel(kind, params));
+      series.measured.emplace_back(std::nullopt);
 
       // Infeasible configurations (report larger than the interval's
       // capacity, e.g. TS in Scenarios 3-4) are not simulated: the protocol
       // cannot operate there, which is exactly why the paper omits them.
       if (!options.simulate || analytic_only ||
           !series.analytic.back().feasible) {
-        series.measured.emplace_back(std::nullopt);
         continue;
       }
-      CellConfig cc;
-      cc.model = params;
-      cc.strategy = kind;
-      cc.num_units = options.num_units;
-      cc.hotspot_size = options.hotspot_size;
-      cc.seed = options.seed + 1000003ULL * i +
-                7919ULL * static_cast<uint64_t>(kind);
-      Cell cell(cc);
-      MOBICACHE_RETURN_IF_ERROR(cell.Build());
-      MOBICACHE_RETURN_IF_ERROR(
-          cell.Run(options.warmup_intervals, options.measure_intervals));
-      series.measured.emplace_back(cell.result());
+      SweepJob job;
+      job.series_index = result.series.size();
+      job.point_index = i;
+      job.config.model = params;
+      job.config.strategy = kind;
+      job.config.num_units = options.num_units;
+      job.config.hotspot_size = options.hotspot_size;
+      job.config.seed = options.seed + 1000003ULL * i +
+                        7919ULL * static_cast<uint64_t>(kind);
+      jobs.push_back(std::move(job));
     }
     result.series.push_back(std::move(series));
+  }
+
+  // Pass 2: run the cells, fanned across the pool when it pays. Statuses are
+  // collected per job and examined in grid order, so error reporting is as
+  // deterministic as the results themselves.
+  std::vector<Status> statuses(jobs.size());
+  const unsigned threads =
+      options.threads == 0 ? ThreadPool::DefaultThreadCount()
+                           : static_cast<unsigned>(options.threads);
+  if (threads <= 1 || jobs.size() <= 1) {
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      const SweepJob& job = jobs[j];
+      RunSweepJob(job, options.warmup_intervals, options.measure_intervals,
+                  &result.series[job.series_index].measured[job.point_index],
+                  &statuses[j]);
+      if (!statuses[j].ok()) return statuses[j];
+    }
+  } else {
+    ThreadPool pool(threads);
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      const SweepJob& job = jobs[j];
+      std::optional<CellResult>* slot =
+          &result.series[job.series_index].measured[job.point_index];
+      Status* status = &statuses[j];
+      pool.Submit([&job, &options, slot, status] {
+        RunSweepJob(job, options.warmup_intervals, options.measure_intervals,
+                    slot, status);
+      });
+    }
+    pool.WaitAll();
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+  }
+
+  for (const StrategySeries& series : result.series) {
+    for (const auto& measured : series.measured) {
+      if (!measured.has_value()) continue;
+      ++result.simulated_cells;
+      result.sim_events += measured->sim_events;
+    }
   }
   return result;
 }

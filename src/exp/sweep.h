@@ -26,6 +26,12 @@ struct SweepOptions {
   uint64_t hotspot_size = 20;
   uint64_t seed = 42;
   bool simulate = true;  ///< false: analytic-only (fast).
+  /// Worker threads for the simulated cells. 0 = one per hardware thread;
+  /// 1 = run in the calling thread. Results are byte-identical at any
+  /// setting: every (strategy, point) cell derives its seed from its grid
+  /// position and writes its own result slot, so thread count affects only
+  /// wall-clock time.
+  int threads = 0;
   /// Strategies to evaluate analytically but never simulate (used where a
   /// full-scale simulation is impractical or the protocol cannot operate,
   /// e.g. SIG under Scenario 4's 10^5 updates/s).
@@ -43,6 +49,10 @@ struct SweepResult {
   bool sweeps_sleep = true;
   std::vector<double> xs;
   std::vector<StrategySeries> series;
+  /// Aggregate simulation effort, for the bench harness: how many cells were
+  /// actually simulated and how many discrete events they dispatched.
+  uint64_t simulated_cells = 0;
+  uint64_t sim_events = 0;
 };
 
 /// Runs the sweep. Strategies without an analytic formula (adaptive, quasi,

@@ -70,7 +70,7 @@ uint64_t SignatureFamily::ItemSignature(uint64_t value) const {
   return SplitMix64(&state) & sig_mask_;
 }
 
-std::vector<uint32_t> SignatureFamily::SubsetsOf(ItemId item) const {
+std::vector<uint32_t> SignatureFamily::ComputeSubsetsOf(ItemId item) const {
   // Geometric skipping over subset indices: each subset contains `item`
   // independently with probability 1/(f+1); the gap between consecutive
   // member indices is geometric. The stream is a pure function of
@@ -90,8 +90,21 @@ std::vector<uint32_t> SignatureFamily::SubsetsOf(ItemId item) const {
   return out;
 }
 
+const std::vector<uint32_t>& SignatureFamily::SubsetsOf(ItemId item) const {
+  const auto it = memo_.find(item);
+  if (it != memo_.end()) return it->second;
+  std::vector<uint32_t> subsets = ComputeSubsetsOf(item);
+  const size_t bytes = subsets.capacity() * sizeof(uint32_t);
+  if (memo_bytes_ + bytes <= kMemoBudgetBytes) {
+    memo_bytes_ += bytes;
+    return memo_.emplace(item, std::move(subsets)).first->second;
+  }
+  scratch_ = std::move(subsets);
+  return scratch_;
+}
+
 bool SignatureFamily::Contains(uint32_t subset, ItemId item) const {
-  const std::vector<uint32_t> subsets = SubsetsOf(item);
+  const std::vector<uint32_t>& subsets = SubsetsOf(item);
   return std::binary_search(subsets.begin(), subsets.end(), subset);
 }
 
@@ -164,7 +177,7 @@ std::vector<ItemId> ClientSignatureView::DiagnoseAndAdopt(
       const SignatureParams& params = family_->params();
       const double global_threshold = family_->MismatchThreshold();
       for (ItemId item : cached_items) {
-        const std::vector<uint32_t> subsets = family_->SubsetsOf(item);
+        const std::vector<uint32_t>& subsets = family_->SubsetsOf(item);
         uint32_t count = 0;
         for (uint32_t j : subsets) {
           if (mismatched.count(j) > 0) ++count;

@@ -20,6 +20,7 @@
 #define MOBICACHE_SIG_SIGNATURE_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "db/database.h"
@@ -81,8 +82,20 @@ class SignatureFamily {
   uint64_t ItemSignature(uint64_t value) const;
 
   /// Indices (ascending) of the subsets containing `item`; expected size
-  /// m/(f+1). Deterministic; O(expected size) via geometric skipping.
-  std::vector<uint32_t> SubsetsOf(ItemId item) const;
+  /// m/(f+1). Deterministic. The first call per item generates the list via
+  /// geometric skipping (O(expected size), with a log per member); repeat
+  /// calls return a memoized copy, so the server's per-update fold and the
+  /// clients' per-report diagnosis stop regenerating the stream. The memo is
+  /// byte-budgeted (families over huge item spaces fall back to a scratch
+  /// buffer once the budget is spent), and the returned reference is valid
+  /// until the next SubsetsOf() call on this family. Not thread-safe: each
+  /// simulation cell owns its family; do not share one instance across
+  /// concurrently running cells.
+  const std::vector<uint32_t>& SubsetsOf(ItemId item) const;
+
+  /// Uncached SubsetsOf: always regenerates the geometric stream. Exposed so
+  /// tests can check memo consistency and benches can time the cold path.
+  std::vector<uint32_t> ComputeSubsetsOf(ItemId item) const;
 
   /// Whether subset `j` contains `item` (consistent with SubsetsOf).
   bool Contains(uint32_t subset, ItemId item) const;
@@ -105,6 +118,13 @@ class SignatureFamily {
   uint64_t sig_mask_;       // low-g-bits mask
   double member_prob_;      // 1/(f+1)
   double log1m_member_;     // ln(1 - member_prob_), for geometric skipping
+
+  // SubsetsOf memo (see its doc comment). memo_bytes_ tracks the payload of
+  // memo_ against kMemoBudgetBytes; scratch_ serves items past the budget.
+  static constexpr size_t kMemoBudgetBytes = 64u << 20;
+  mutable std::unordered_map<ItemId, std::vector<uint32_t>> memo_;
+  mutable std::vector<uint32_t> scratch_;
+  mutable size_t memo_bytes_ = 0;
 };
 
 /// Server-side incremental maintenance of the m combined signatures. XORs

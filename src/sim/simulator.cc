@@ -1,17 +1,96 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace mobicache {
 
+// 4-ary min-heap with hole insertion: shallower than a binary heap and one
+// move per level instead of a three-move swap, which is what makes large
+// event queues cheap. Dispatch order is independent of heap shape because
+// (when, seq) keys are unique and every pop extracts the minimum.
+namespace {
+constexpr size_t kHeapArity = 4;
+}  // namespace
+
+void Simulator::HeapPush(Entry entry) {
+  size_t i = heap_.size();
+  heap_.push_back(entry);  // reserve the hole
+  while (i > 0) {
+    const size_t parent = (i - 1) / kHeapArity;
+    if (!entry.Before(heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+Simulator::Entry Simulator::HeapPopRoot() {
+  assert(!heap_.empty());
+  const Entry out = heap_.front();
+  const Entry filler = heap_.back();
+  heap_.pop_back();
+  const size_t n = heap_.size();
+  if (n == 0) return out;
+  size_t i = 0;
+  while (true) {
+    const size_t first_child = kHeapArity * i + 1;
+    if (first_child >= n) break;
+    const size_t last_child = std::min(first_child + kHeapArity, n);
+    size_t best = first_child;
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      if (heap_[c].Before(heap_[best])) best = c;
+    }
+    if (!heap_[best].Before(filler)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = filler;
+  return out;
+}
+
+bool Simulator::SkipCancelledTop() {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.front();
+    if (!slots_[top.slot].cancelled) return true;
+    slots_[top.slot].seq = 0;  // slot no longer answers for this event
+    free_slots_.push_back(top.slot);
+    HeapPopRoot();
+  }
+  return false;
+}
+
+std::function<void()> Simulator::TakeRootForDispatch() {
+  const Entry top = HeapPopRoot();
+  Slot& slot = slots_[top.slot];
+  std::function<void()> fn = std::move(slot.fn);
+  slot.fn = nullptr;
+  slot.seq = 0;  // a Cancel() with the fired event's id must miss
+  free_slots_.push_back(top.slot);
+  now_ = top.when;
+  ++dispatched_;
+  return fn;
+}
+
 EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
   assert(when >= now_ && "cannot schedule in the past");
   assert(fn != nullptr);
   const uint64_t seq = next_seq_++;
-  queue_.push(Entry{when, seq});
-  callbacks_.emplace(seq, std::move(fn));
-  return EventId{seq};
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.seq = seq;
+  s.cancelled = false;
+  HeapPush(Entry{when, seq, slot});
+  return EventId{seq, slot};
 }
 
 EventId Simulator::ScheduleAfter(SimTime delay, std::function<void()> fn) {
@@ -19,32 +98,25 @@ EventId Simulator::ScheduleAfter(SimTime delay, std::function<void()> fn) {
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
-bool Simulator::Cancel(EventId id) { return callbacks_.erase(id.seq) > 0; }
-
-bool Simulator::PopAndDispatch() {
-  while (!queue_.empty()) {
-    const Entry top = queue_.top();
-    auto it = callbacks_.find(top.seq);
-    if (it == callbacks_.end()) {
-      // Cancelled placeholder.
-      queue_.pop();
-      continue;
-    }
-    std::function<void()> fn = std::move(it->second);
-    callbacks_.erase(it);
-    queue_.pop();
-    now_ = top.when;
-    ++dispatched_;
-    fn();
-    return true;
-  }
-  return false;
+bool Simulator::Cancel(EventId id) {
+  if (id.seq == 0 || id.slot >= slots_.size()) return false;
+  Slot& slot = slots_[id.slot];
+  // The slot still belongs to this event only if the seq matches: a fired
+  // or already-cancelled event's slot is recycled (or flagged) by then.
+  if (slot.seq != id.seq || slot.cancelled) return false;
+  slot.cancelled = true;
+  slot.fn = nullptr;  // release captured resources eagerly
+  return true;
 }
 
 uint64_t Simulator::Run() {
   stopped_ = false;
   uint64_t n = 0;
-  while (!stopped_ && PopAndDispatch()) ++n;
+  while (!stopped_ && SkipCancelledTop()) {
+    std::function<void()> fn = TakeRootForDispatch();
+    ++n;
+    fn();
+  }
   return n;
 }
 
@@ -52,22 +124,11 @@ uint64_t Simulator::RunUntil(SimTime end) {
   assert(end >= now_);
   stopped_ = false;
   uint64_t n = 0;
-  while (!stopped_) {
-    // Peek past cancelled placeholders to find the next live event time.
-    bool dispatched_one = false;
-    while (!queue_.empty()) {
-      const Entry top = queue_.top();
-      if (callbacks_.find(top.seq) == callbacks_.end()) {
-        queue_.pop();
-        continue;
-      }
-      if (top.when > end) break;
-      PopAndDispatch();
-      ++n;
-      dispatched_one = true;
-      break;
-    }
-    if (!dispatched_one) break;
+  while (!stopped_ && SkipCancelledTop()) {
+    if (heap_.front().when > end) break;
+    std::function<void()> fn = TakeRootForDispatch();
+    ++n;
+    fn();
   }
   if (now_ < end) now_ = end;
   return n;
@@ -75,7 +136,10 @@ uint64_t Simulator::RunUntil(SimTime end) {
 
 bool Simulator::Step() {
   stopped_ = false;
-  return PopAndDispatch();
+  if (!SkipCancelledTop()) return false;
+  std::function<void()> fn = TakeRootForDispatch();
+  fn();
+  return true;
 }
 
 PeriodicProcess::PeriodicProcess(Simulator* sim, SimTime start, SimTime period,
@@ -102,13 +166,21 @@ Status PeriodicProcess::Start() {
 
 void PeriodicProcess::Stop() {
   if (!active_) return;
+  // pending_ is always the *next* tick: Fire() reassigns it to the freshly
+  // rescheduled event before invoking the callback, so a Stop() from inside
+  // on_tick_ cancels that fresh event rather than leaving it to fire (and
+  // keep ticks_fired_ counting) against a dead process.
   sim_->Cancel(pending_);
+  pending_ = EventId{};
   active_ = false;
 }
 
 void PeriodicProcess::Fire() {
+  if (!active_) return;  // defensive: a cancelled tick must never count
   const uint64_t tick = ticks_fired_++;
-  // Reschedule before invoking the callback so the callback may Stop() us.
+  // Reschedule before invoking the callback so the callback may Stop() us
+  // (see Stop()), and so the next tick keeps its FIFO slot relative to
+  // events the callback schedules at the same virtual time.
   pending_ = sim_->ScheduleAfter(period_, [this] { Fire(); });
   on_tick_(tick);
 }

@@ -2,14 +2,21 @@
 // event queue; components schedule closures at absolute or relative virtual
 // times. Events at equal times fire in scheduling order (stable FIFO
 // tie-break) so runs are fully deterministic for a given seed.
+//
+// Hot-path layout: heap entries are 24-byte PODs (time, seq, slot), so the
+// sift operations that dominate large queues stay cache-friendly, and the
+// callback lives in a slot slab indexed directly by the entry — no hash
+// lookup and no per-event node allocation (slots are recycled through a
+// free list, so slab size tracks *peak pending* events, not run length).
+// Cancellation is a tombstone flag in the slot, checked when the entry
+// reaches the top of the heap; Cancel() is O(1) and cancelled entries are
+// skipped lazily at dispatch time (their callbacks are destroyed eagerly).
 
 #ifndef MOBICACHE_SIM_SIMULATOR_H_
 #define MOBICACHE_SIM_SIMULATOR_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "util/status.h"
@@ -20,8 +27,12 @@ namespace mobicache {
 using SimTime = double;
 
 /// Identifies a scheduled event; usable to cancel it before it fires.
+/// Treat as opaque: `seq` is a lifetime-unique event number (0 = never a
+/// real event, so a default EventId cancels nothing) and `slot` locates the
+/// event's callback storage.
 struct EventId {
   uint64_t seq = 0;
+  uint32_t slot = 0;
 };
 
 /// Deterministic single-threaded discrete-event scheduler.
@@ -44,8 +55,9 @@ class Simulator {
   /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
   EventId ScheduleAfter(SimTime delay, std::function<void()> fn);
 
-  /// Cancels a pending event. Returns true if the event existed and had not
-  /// yet fired (lazy removal: the slot stays queued but becomes a no-op).
+  /// Cancels a pending event in O(1). Returns true if the event existed and
+  /// had not yet fired (lazy removal: the slot stays queued but becomes a
+  /// no-op).
   bool Cancel(EventId id);
 
   /// Runs events until the queue is empty or Stop() is called.
@@ -64,7 +76,7 @@ class Simulator {
   void Stop() { stopped_ = true; }
 
   /// Number of events still queued (including cancelled placeholders).
-  size_t PendingEvents() const { return queue_.size(); }
+  size_t PendingEvents() const { return heap_.size(); }
 
   /// Total events dispatched over the simulator's lifetime.
   uint64_t DispatchedEvents() const { return dispatched_; }
@@ -73,28 +85,47 @@ class Simulator {
   struct Entry {
     SimTime when;
     uint64_t seq;
-    // Ordering for the min-heap: earliest time first, then FIFO by seq.
-    bool operator>(const Entry& other) const {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
+    uint32_t slot;
+    // Min-heap priority: earliest time first, then FIFO by seq.
+    bool Before(const Entry& other) const {
+      if (when != other.when) return when < other.when;
+      return seq < other.seq;
     }
   };
 
-  bool PopAndDispatch();
+  /// Callback storage for one pending event. A slot is owned by exactly one
+  /// queued entry (matching seq) from ScheduleAt until that entry is popped,
+  /// then recycled through free_slots_.
+  struct Slot {
+    std::function<void()> fn;
+    uint64_t seq = 0;
+    bool cancelled = false;
+  };
+
+  void HeapPush(Entry entry);
+  Entry HeapPopRoot();
+  /// Drops cancelled entries (and recycles their slots) off the top;
+  /// afterwards the root, if any, is a live event. Returns false if the
+  /// heap is empty.
+  bool SkipCancelledTop();
+  /// Moves the root's callback out, recycles its slot, advances the clock,
+  /// and returns the callback ready to invoke.
+  std::function<void()> TakeRootForDispatch();
 
   SimTime now_ = 0.0;
-  uint64_t next_seq_ = 0;
+  uint64_t next_seq_ = 1;  // 0 is reserved so a default EventId is inert
   uint64_t dispatched_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
-  // Callbacks keyed by sequence number; erased on dispatch or cancel, so a
-  // queued Entry whose seq is absent here is a cancelled placeholder.
-  std::unordered_map<uint64_t, std::function<void()>> callbacks_;
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
 };
 
 /// Repeatedly invokes a callback with a fixed period, starting at `start`.
 /// The callback receives the tick index (0-based). Owned by the caller; the
-/// schedule stops when the object is destroyed or Stop() is called.
+/// schedule stops when the object is destroyed or Stop() is called. Stop()
+/// may be called from inside the callback: the tick Fire() has already
+/// rescheduled is cancelled and ticks_fired() freezes.
 class PeriodicProcess {
  public:
   /// `period` must be > 0. Does not schedule anything until Start().
@@ -111,6 +142,7 @@ class PeriodicProcess {
   /// Cancels any pending tick; idempotent.
   void Stop();
 
+  bool active() const { return active_; }
   uint64_t ticks_fired() const { return ticks_fired_; }
 
  private:

@@ -1,0 +1,73 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mobicache {
+
+unsigned ThreadPool::DefaultThreadCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  const unsigned n = std::max(1u, num_threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      // shutdown_ with an empty queue: drain complete, exit. Workers keep
+      // serving tasks submitted after shutdown began until the queue dries
+      // up, so the destructor's "pending tasks still run" contract holds.
+      return;
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock<std::mutex> err_lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    lock.lock();
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) batch_done_.notify_all();
+  }
+}
+
+}  // namespace mobicache

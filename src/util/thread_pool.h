@@ -1,0 +1,70 @@
+// Fixed-size worker pool for fanning independent jobs across cores. No work
+// stealing, no futures: callers Submit() void closures and WaitAll() for the
+// batch to drain. The first exception thrown by any task is captured and
+// rethrown from WaitAll(), after which the pool is reusable for the next
+// batch. Used by the sweep engine to run (strategy x point) simulation cells
+// in parallel; results stay deterministic because every job owns its output
+// slot and derives its seed from its grid position, never from run order.
+
+#ifndef MOBICACHE_UTIL_THREAD_POOL_H_
+#define MOBICACHE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mobicache {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1). Workers live until the
+  /// pool is destroyed.
+  explicit ThreadPool(unsigned num_threads);
+
+  /// Joins all workers. Pending tasks are still executed first (destruction
+  /// implies WaitAll, minus the exception rethrow: a captured exception that
+  /// was never collected is dropped).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Safe to call from any thread, including from inside a
+  /// running task. Tasks must not call WaitAll().
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw, the
+  /// first captured exception is rethrown here (the rest of the batch still
+  /// runs to completion). The pool is reusable after WaitAll() returns or
+  /// throws.
+  void WaitAll();
+
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// std::thread::hardware_concurrency() with a floor of 1 (the standard
+  /// allows it to report 0 when unknown).
+  static unsigned DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable batch_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  ///< Tasks popped but not yet finished.
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_UTIL_THREAD_POOL_H_

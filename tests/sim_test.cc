@@ -54,6 +54,59 @@ TEST(SimulatorTest, CancelPreventsDispatch) {
   EXPECT_FALSE(fired);
 }
 
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  EventId id = sim.ScheduleAt(1.0, [] {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, CancelledPlaceholdersAreSkippedAcrossLiveEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  EventId a = sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(2.0, [&] { order.push_back(2); });
+  EventId c = sim.ScheduleAt(3.0, [&] { order.push_back(3); });
+  sim.ScheduleAt(4.0, [&] { order.push_back(4); });
+  EXPECT_TRUE(sim.Cancel(a));
+  EXPECT_TRUE(sim.Cancel(c));
+  EXPECT_EQ(sim.Run(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{2, 4}));
+}
+
+TEST(SimulatorTest, CancelFromInsideAnEarlierEvent) {
+  Simulator sim;
+  bool fired = false;
+  EventId later = sim.ScheduleAt(5.0, [&] { fired = true; });
+  sim.ScheduleAt(1.0, [&] { EXPECT_TRUE(sim.Cancel(later)); });
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, ManyEventsKeepDeterministicOrderAndRecycleSlots) {
+  // Pushes enough events through the loop that callback slots are recycled
+  // many times over, and checks the dispatch order stays
+  // (time, FIFO)-deterministic throughout.
+  Simulator sim;
+  uint64_t dispatched = 0;
+  double last_time = -1.0;
+  const int kBatches = 40;
+  const int kPerBatch = 50000;
+  for (int b = 0; b < kBatches; ++b) {
+    const double base = static_cast<double>(b + 1);
+    for (int i = 0; i < kPerBatch; ++i) {
+      sim.ScheduleAt(base, [&sim, &dispatched, &last_time] {
+        EXPECT_GE(sim.Now(), last_time);
+        last_time = sim.Now();
+        ++dispatched;
+      });
+    }
+    sim.Run();
+  }
+  EXPECT_EQ(dispatched, static_cast<uint64_t>(kBatches) * kPerBatch);
+  EXPECT_EQ(sim.DispatchedEvents(), dispatched);
+}
+
 TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
   Simulator sim;
   std::vector<double> times;
@@ -155,6 +208,42 @@ TEST(PeriodicProcessTest, StopFromCallback) {
   sim.Run();
   proc.Stop();
   EXPECT_EQ(fired, 3);
+}
+
+// Regression: Stop() from inside on_tick_ runs after Fire() has already
+// rescheduled the next tick. The freshly scheduled event must be cancelled
+// so ticks_fired() freezes and nothing fires against the stopped process.
+TEST(PeriodicProcessTest, StopFromInsideCallbackCancelsRescheduledTick) {
+  Simulator sim;
+  std::vector<uint64_t> ticks;
+  PeriodicProcess proc(&sim, 0.0, 1.0, [&](uint64_t tick) {
+    ticks.push_back(tick);
+    if (tick == 2) proc.Stop();
+  });
+  ASSERT_TRUE(proc.Start().ok());
+  sim.Run();  // must terminate: the rescheduled tick is cancelled
+  EXPECT_EQ(ticks, (std::vector<uint64_t>{0, 1, 2}));
+  EXPECT_EQ(proc.ticks_fired(), 3u);
+  EXPECT_FALSE(proc.active());
+  // Nothing of the process lingers in the queue; more simulation time
+  // cannot revive it or grow the counter.
+  sim.RunUntil(sim.Now() + 100.0);
+  EXPECT_EQ(proc.ticks_fired(), 3u);
+}
+
+TEST(PeriodicProcessTest, StopInsideCallbackThenOutsideIsIdempotent) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicProcess proc(&sim, 0.0, 1.0, [&](uint64_t) {
+    ++fired;
+    proc.Stop();
+    proc.Stop();  // second Stop inside the callback is a no-op
+  });
+  ASSERT_TRUE(proc.Start().ok());
+  sim.Run();
+  proc.Stop();  // and so is one after the run
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(proc.ticks_fired(), 1u);
 }
 
 TEST(PeriodicProcessTest, DestructionCancelsPendingTick) {
