@@ -226,6 +226,158 @@ void BM_DatabaseUpdatedIn(benchmark::State& state) {
 }
 BENCHMARK(BM_DatabaseUpdatedIn);
 
+// ---------------------------------------------------------------------------
+// Client revalidation: seed algorithm vs the watermark cache.
+
+// The seed implementation's per-report client work, restated against the
+// current cache API: probe the cache once per report entry, then allocate,
+// sort, and re-stamp the surviving cache one item at a time.
+void LegacyTsApply(const TsReport& ts, ClientCache* cache) {
+  for (const TsReportEntry& entry : ts.entries) {
+    const CacheEntry* cached = cache->Peek(entry.id);
+    if (cached != nullptr && cached->timestamp < entry.updated_at) {
+      cache->Erase(entry.id);
+    }
+  }
+  for (ItemId id : cache->Items()) cache->SetTimestamp(id, ts.timestamp);
+}
+
+TsReport BigTsReport() {
+  TsReport ts;
+  ts.interval = 0;
+  ts.window = 1e12;
+  // Entries predate every cached stamp, so applying the report steadily
+  // invalidates nothing — the benchmark measures pure revalidation cost.
+  for (ItemId i = 0; i < 100000; ++i) {
+    ts.entries.push_back(TsReportEntry{i, 0.5});
+  }
+  return ts;
+}
+
+void FillCache(ClientCache* cache, size_t cached) {
+  for (size_t i = 0; i < cached; ++i) {
+    cache->Put(static_cast<ItemId>(i * 97 % 100000), i, 1.0);
+  }
+}
+
+void BM_TsOnReportLegacy(benchmark::State& state) {
+  TsReport ts = BigTsReport();
+  ClientCache cache;
+  FillCache(&cache, static_cast<size_t>(state.range(0)));
+  double t = 10.0;
+  for (auto _ : state) {
+    ts.timestamp = t;
+    t += 10.0;
+    LegacyTsApply(ts, &cache);
+    benchmark::DoNotOptimize(cache.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ts.entries.size()));
+}
+BENCHMARK(BM_TsOnReportLegacy)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_TsOnReportWatermark(benchmark::State& state) {
+  Report report(BigTsReport());
+  TsReport& ts = std::get<TsReport>(report);
+  TsClientManager manager(10);
+  ClientCache cache;
+  // Baseline report first: the initial OnReport drops the (empty) cache.
+  ts.timestamp = 5.0;
+  manager.OnReport(report, &cache);
+  FillCache(&cache, static_cast<size_t>(state.range(0)));
+  double t = 10.0;
+  for (auto _ : state) {
+    ++ts.interval;
+    ts.timestamp = t;
+    t += 10.0;
+    manager.OnReport(report, &cache);
+    benchmark::DoNotOptimize(cache.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ts.entries.size()));
+}
+BENCHMARK(BM_TsOnReportWatermark)->Arg(10)->Arg(100)->Arg(1000);
+
+// ---------------------------------------------------------------------------
+// Window queries: one flat journal scanned per query vs per-interval buckets
+// with sealed digests. Arg is the query window in seconds (L = 10).
+
+void FillJournal(Database* db) {
+  Rng rng(4);
+  double t = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    t += 0.001;
+    db->ApplyUpdate(static_cast<ItemId>(rng.NextUint64(1u << 16)), t);
+  }
+}
+
+void BM_DatabaseUpdatedInScanning(benchmark::State& state) {
+  Database db(1u << 16, 1);
+  FillJournal(&db);  // bucket width 0: one bucket, scanned per query
+  const double window = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto items = db.UpdatedIn(100.0 - window, 100.0);
+    benchmark::DoNotOptimize(items);
+  }
+}
+BENCHMARK(BM_DatabaseUpdatedInScanning)->Arg(10)->Arg(50);
+
+void BM_DatabaseUpdatedInBucketed(benchmark::State& state) {
+  Database db(1u << 16, 1);
+  db.SetJournalBucketWidth(10.0);
+  FillJournal(&db);
+  const double window = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto items = db.UpdatedIn(100.0 - window, 100.0);
+    benchmark::DoNotOptimize(items);
+  }
+}
+BENCHMARK(BM_DatabaseUpdatedInBucketed)->Arg(10)->Arg(50);
+
+// ---------------------------------------------------------------------------
+// Combined signatures: full recompute from the database (what an on-demand
+// server pays per report) vs XOR-folding only the interval's dirty items.
+
+void BM_SigRecomputeFull(benchmark::State& state) {
+  Database db(50000, 1);
+  SignatureParams params;
+  params.m = 2000;
+  params.f = 10;
+  params.g = 16;
+  SignatureFamily family(50000, params, 1);
+  for (auto _ : state) {
+    ServerSignatureState server(&family, &db);
+    benchmark::DoNotOptimize(server.Combined());
+  }
+}
+BENCHMARK(BM_SigRecomputeFull);
+
+void BM_SigRecomputeIncremental(benchmark::State& state) {
+  const int dirty = static_cast<int>(state.range(0));
+  Database db(50000, 1);
+  db.SetJournalBucketWidth(0.5);
+  SignatureParams params;
+  params.m = 2000;
+  params.f = 10;
+  params.g = 16;
+  SignatureFamily family(50000, params, 1);
+  ServerSignatureState server(&family, &db);
+  double t = 1.0;
+  ItemId id = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < dirty; ++i) {
+      db.ApplyUpdate(id, t);
+      server.OnItemChanged(id);
+      id = (id + 7919) % 50000;
+      t += 0.001;
+    }
+    db.PruneJournalBefore(t - 1.0);
+    benchmark::DoNotOptimize(server.Combined());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * dirty);
+}
+BENCHMARK(BM_SigRecomputeIncremental)->Arg(100);
+
 }  // namespace
 }  // namespace mobicache
 

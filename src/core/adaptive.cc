@@ -273,31 +273,27 @@ uint64_t AdaptiveTsClientManager::OnReport(const Report& report,
   mentioned.reserve(ats.entries.size());
   for (const TsReportEntry& e : ats.entries) mentioned[e.id] = e.updated_at;
 
-  uint64_t invalidated = 0;
-  for (ItemId id : cache->Items()) {
-    const CacheEntry* entry = cache->Peek(id);
+  victims_.clear();
+  cache->ForEachItem([&](ItemId id, const CacheEntry& entry) {
     auto it = mentioned.find(id);
     if (it != mentioned.end()) {
-      if (entry->timestamp < it->second) {
-        cache->Erase(id);
-        ++invalidated;
-      } else {
-        cache->SetTimestamp(id, ats.timestamp);
-      }
-      continue;
+      if (entry.timestamp < it->second) victims_.push_back(id);
+      return;
     }
     // Silence proves validity only if the copy is young enough that any
     // change since its stamp would have appeared in this report's window.
     const double window_secs =
         latency_ * static_cast<double>(KnownWindowOf(id));
-    if (entry->timestamp >= ats.timestamp - window_secs) {
-      cache->SetTimestamp(id, ats.timestamp);
-    } else {
-      cache->Erase(id);
-      ++invalidated;
+    if (entry.timestamp < ats.timestamp - window_secs) {
+      victims_.push_back(id);
       ++staleness_drops_;
     }
-  }
+  });
+  for (ItemId id : victims_) cache->Erase(id);
+  const uint64_t invalidated = victims_.size();
+  // Every survivor — mentioned with an older report stamp or vouched for by
+  // silence — is revalidated through the report time.
+  cache->ValidateAllThrough(ats.timestamp);
 
   heard_any_ = true;
   return invalidated;

@@ -1,5 +1,6 @@
 #include "core/at.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace mobicache {
@@ -30,12 +31,23 @@ uint64_t AtClientManager::OnReport(const Report& report, ClientCache* cache) {
     invalidated = cache->size();
     cache->Clear();
   } else {
-    for (ItemId id : at.ids) {
-      if (cache->Erase(id)) ++invalidated;
+    if (CacheDrivenScanPays(at.ids.size(), cache->size())) {
+      // Report dwarfs the cache: binary-search the id-sorted report per
+      // cached item instead of probing the cache per reported id.
+      victims_.clear();
+      cache->ForEachItem([&](ItemId id, const CacheEntry&) {
+        if (std::binary_search(at.ids.begin(), at.ids.end(), id)) {
+          victims_.push_back(id);
+        }
+      });
+      for (ItemId id : victims_) cache->Erase(id);
+      invalidated = victims_.size();
+    } else {
+      for (ItemId id : at.ids) {
+        if (cache->Erase(id)) ++invalidated;
+      }
     }
-    for (ItemId id : cache->Items()) {
-      cache->SetTimestamp(id, at.timestamp);
-    }
+    cache->ValidateAllThrough(at.timestamp);
   }
 
   heard_any_ = true;

@@ -4,66 +4,181 @@
 
 namespace mobicache {
 
+uint32_t ClientCache::FindSlot(ItemId id) const {
+  if (slots_.empty()) return kNil;
+  uint32_t i = Home(id);
+  while (slots_[i].used) {
+    if (slots_[i].key == id) return i;
+    i = (i + 1) & mask_;
+  }
+  return kNil;
+}
+
 const CacheEntry* ClientCache::Peek(ItemId id) const {
-  auto it = entries_.find(id);
-  return it == entries_.end() ? nullptr : &it->second.entry;
+  const uint32_t i = FindSlot(id);
+  if (i == kNil) return nullptr;
+  Fold(slots_[i]);
+  return &slots_[i].entry;
 }
 
 const CacheEntry* ClientCache::Get(ItemId id) {
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return nullptr;
-  Touch(it->second, id);
-  return &it->second.entry;
+  const uint32_t i = FindSlot(id);
+  if (i == kNil) return nullptr;
+  Fold(slots_[i]);
+  Touch(i);
+  return &slots_[i].entry;
 }
 
-void ClientCache::Touch(Slot& slot, ItemId id) {
-  lru_.erase(slot.lru_pos);
-  lru_.push_front(id);
-  slot.lru_pos = lru_.begin();
+void ClientCache::LinkFront(uint32_t i) {
+  slots_[i].lru_prev = kNil;
+  slots_[i].lru_next = lru_head_;
+  if (lru_head_ != kNil) slots_[lru_head_].lru_prev = i;
+  lru_head_ = i;
+  if (lru_tail_ == kNil) lru_tail_ = i;
+}
+
+void ClientCache::Unlink(uint32_t i) {
+  const uint32_t prev = slots_[i].lru_prev;
+  const uint32_t next = slots_[i].lru_next;
+  if (prev != kNil) slots_[prev].lru_next = next;
+  else lru_head_ = next;
+  if (next != kNil) slots_[next].lru_prev = prev;
+  else lru_tail_ = prev;
+}
+
+void ClientCache::EnsureTable() {
+  if (!slots_.empty()) return;
+  size_t want = 16;
+  if (capacity_ != 0) {
+    // Size the table once so a full cache stays under 3/4 load.
+    const size_t need = capacity_ + capacity_ / 3 + 2;
+    while (want < need) want <<= 1;
+  }
+  slots_.assign(want, Slot{});
+  mask_ = static_cast<uint32_t>(want - 1);
+}
+
+void ClientCache::Grow() { Rehash(slots_.size() * 2); }
+
+void ClientCache::Rehash(size_t new_size) {
+  struct Saved {
+    ItemId key;
+    CacheEntry entry;
+    uint64_t seq;
+  };
+  std::vector<Saved> saved;
+  saved.reserve(size_);
+  // Tail-to-head so that reinserting with LinkFront recreates the order.
+  for (uint32_t i = lru_tail_; i != kNil; i = slots_[i].lru_prev)
+    saved.push_back({slots_[i].key, slots_[i].entry, slots_[i].seq});
+  slots_.assign(new_size, Slot{});
+  mask_ = static_cast<uint32_t>(new_size - 1);
+  lru_head_ = lru_tail_ = kNil;
+  size_ = 0;
+  for (const Saved& s : saved) {
+    const uint32_t i = InsertFresh(s.key);
+    slots_[i].entry = s.entry;
+    slots_[i].seq = s.seq;
+    LinkFront(i);
+    ++size_;
+  }
+}
+
+uint32_t ClientCache::InsertFresh(ItemId id) {
+  uint32_t i = Home(id);
+  while (slots_[i].used) i = (i + 1) & mask_;
+  slots_[i].used = true;
+  slots_[i].key = id;
+  return i;
 }
 
 void ClientCache::Put(ItemId id, uint64_t value, SimTime timestamp) {
-  auto it = entries_.find(id);
-  if (it != entries_.end()) {
-    it->second.entry.value = value;
-    it->second.entry.timestamp = timestamp;
-    Touch(it->second, id);
+  EnsureTable();
+  uint32_t i = FindSlot(id);
+  if (i != kNil) {
+    slots_[i].entry = CacheEntry{value, timestamp};
+    slots_[i].seq = ++op_seq_;
+    Touch(i);
     return;
   }
-  if (capacity_ != 0 && entries_.size() >= capacity_) {
-    const ItemId victim = lru_.back();
-    lru_.pop_back();
-    entries_.erase(victim);
+  if (capacity_ != 0 && size_ >= capacity_) {
+    EraseSlot(lru_tail_);
     ++lru_evictions_;
   }
-  lru_.push_front(id);
-  entries_.emplace(id, Slot{CacheEntry{value, timestamp}, lru_.begin()});
+  if ((size_ + 1) * 4 > slots_.size() * 3) Grow();
+  i = InsertFresh(id);
+  slots_[i].entry = CacheEntry{value, timestamp};
+  slots_[i].seq = ++op_seq_;
+  LinkFront(i);
+  ++size_;
 }
 
 bool ClientCache::SetTimestamp(ItemId id, SimTime timestamp) {
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return false;
-  it->second.entry.timestamp = timestamp;
+  const uint32_t i = FindSlot(id);
+  if (i == kNil) return false;
+  slots_[i].entry.timestamp = timestamp;
+  slots_[i].seq = ++op_seq_;
   return true;
+}
+
+void ClientCache::ValidateAllThrough(SimTime timestamp) {
+  if (timestamp < validated_through_) {
+    // Watermarks only move forward in the simulation; if one ever moves
+    // back, pin the old guarantee into the entries it covered first.
+    for (Slot& slot : slots_)
+      if (slot.used) Fold(slot);
+  }
+  validated_through_ = timestamp;
+  validate_seq_ = op_seq_;
 }
 
 bool ClientCache::Erase(ItemId id) {
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return false;
-  lru_.erase(it->second.lru_pos);
-  entries_.erase(it);
+  const uint32_t i = FindSlot(id);
+  if (i == kNil) return false;
+  EraseSlot(i);
   return true;
 }
 
+void ClientCache::EraseSlot(uint32_t i) {
+  Unlink(i);
+  --size_;
+  uint32_t j = i;
+  while (true) {
+    slots_[i] = Slot{};
+    while (true) {
+      j = (j + 1) & mask_;
+      if (!slots_[j].used) return;
+      const uint32_t home = Home(slots_[j].key);
+      // Slot j may fill the hole at i iff its home position is not
+      // cyclically within (i, j] — otherwise the probe chain would break.
+      const bool movable =
+          (i <= j) ? (home <= i || home > j) : (home <= i && home > j);
+      if (movable) break;
+    }
+    const Slot moved = slots_[j];
+    if (moved.lru_prev != kNil) slots_[moved.lru_prev].lru_next = i;
+    else lru_head_ = i;
+    if (moved.lru_next != kNil) slots_[moved.lru_next].lru_prev = i;
+    else lru_tail_ = i;
+    slots_[i] = moved;
+    i = j;
+  }
+}
+
 void ClientCache::Clear() {
-  entries_.clear();
-  lru_.clear();
+  if (size_ != 0) std::fill(slots_.begin(), slots_.end(), Slot{});
+  size_ = 0;
+  lru_head_ = kNil;
+  lru_tail_ = kNil;
+  validated_through_ = 0.0;
+  validate_seq_ = 0;
 }
 
 std::vector<ItemId> ClientCache::Items() const {
   std::vector<ItemId> out;
-  out.reserve(entries_.size());
-  for (const auto& [id, slot] : entries_) out.push_back(id);
+  out.reserve(size_);
+  for (const Slot& slot : slots_)
+    if (slot.used) out.push_back(slot.key);
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -3,14 +3,24 @@
 // T_i is stamped T_i; an entry fetched uplink is stamped with the server
 // time of the fetch. An optional capacity bound evicts in LRU order (an
 // extension; the paper's model caches the whole hot spot).
+//
+// Storage is a flat open-addressed slot table (power-of-two size, linear
+// probing, backward-shift deletion) with the LRU list threaded through the
+// slots as prev/next indices — no per-entry heap allocation, no pointer
+// chasing through std::list nodes.
+//
+// Revalidation is a cache-wide watermark: ValidateAllThrough(t) records
+// that every entry present at that moment is valid through t, so applying
+// a report costs O(1) instead of a SetTimestamp per cached item. The
+// effective validity of an entry is max(stored timestamp, watermark); the
+// watermark is folded into the stored timestamp lazily on access. Entries
+// inserted or re-stamped after the watermark call are outside its scope,
+// which a per-slot sequence number enforces.
 
 #ifndef MOBICACHE_CORE_CACHE_H_
 #define MOBICACHE_CORE_CACHE_H_
 
 #include <cstdint>
-#include <list>
-#include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "db/database.h"
@@ -26,7 +36,8 @@ struct CacheEntry {
   SimTime timestamp = 0.0;
 };
 
-/// Hash cache with optional LRU capacity. Not thread-safe (each MU owns one).
+/// Flat-table cache with optional LRU capacity. Not thread-safe (each MU
+/// owns one).
 class ClientCache {
  public:
   /// `capacity` == 0 means unbounded.
@@ -45,35 +56,97 @@ class ClientCache {
   /// Returns false if the item is not cached.
   bool SetTimestamp(ItemId id, SimTime timestamp);
 
+  /// Marks every entry currently cached as valid through `timestamp`.
+  /// Equivalent to SetTimestamp(id, timestamp) on each cached id whose
+  /// stored timestamp is older, but O(1). Entries added or re-stamped
+  /// later are unaffected.
+  void ValidateAllThrough(SimTime timestamp);
+
   /// Removes an entry if present; returns whether it existed.
   bool Erase(ItemId id);
 
-  /// Drops everything.
+  /// Drops everything (watermark included).
   void Clear();
 
-  bool Contains(ItemId id) const { return entries_.count(id) > 0; }
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  bool Contains(ItemId id) const { return FindSlot(id) != kNil; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
   size_t capacity() const { return capacity_; }
 
   /// Ids of all cached items, ascending.
   std::vector<ItemId> Items() const;
 
+  /// Visits every cached entry (unspecified order) without allocating or
+  /// sorting. The callback must not mutate the cache.
+  template <typename Fn>
+  void ForEachItem(Fn&& fn) const {
+    for (uint32_t i = 0; i < slots_.size(); ++i) {
+      if (!slots_[i].used) continue;
+      Fold(slots_[i]);
+      fn(slots_[i].key, slots_[i].entry);
+    }
+  }
+
   /// Cumulative number of capacity evictions.
   uint64_t lru_evictions() const { return lru_evictions_; }
 
  private:
+  static constexpr uint32_t kNil = 0xffffffffu;
+
   struct Slot {
+    ItemId key = 0;
+    bool used = false;
     CacheEntry entry;
-    std::list<ItemId>::iterator lru_pos;
+    /// Operation sequence at the last Put/SetTimestamp of this entry;
+    /// compared against validate_seq_ to scope the watermark.
+    uint64_t seq = 0;
+    uint32_t lru_prev = kNil;
+    uint32_t lru_next = kNil;
   };
 
-  void Touch(Slot& slot, ItemId id);
+  uint32_t Home(ItemId id) const {
+    uint32_t h = static_cast<uint32_t>(id) * 0x9e3779b9u;
+    h ^= h >> 16;
+    return h & mask_;
+  }
+
+  /// Index of the slot holding `id`, or kNil.
+  uint32_t FindSlot(ItemId id) const;
+
+  /// Applies the watermark to a slot it covers (idempotent).
+  void Fold(Slot& slot) const {
+    if (slot.seq <= validate_seq_ && slot.entry.timestamp < validated_through_)
+      slot.entry.timestamp = validated_through_;
+  }
+
+  void EnsureTable();
+  void Grow();
+  /// Reinserts into a freshly sized table, preserving LRU order.
+  void Rehash(size_t new_size);
+  /// Inserts a key known to be absent; returns its slot index.
+  uint32_t InsertFresh(ItemId id);
+  void LinkFront(uint32_t i);
+  void Unlink(uint32_t i);
+  void Touch(uint32_t i) {
+    if (lru_head_ == i) return;
+    Unlink(i);
+    LinkFront(i);
+  }
+  /// Backward-shift deletion; fixes LRU links of moved slots.
+  void EraseSlot(uint32_t i);
 
   size_t capacity_;
-  std::unordered_map<ItemId, Slot> entries_;
-  std::list<ItemId> lru_;  // front = most recent
+  // mutable: Peek/ForEachItem fold the watermark into stored timestamps,
+  // which is observationally const.
+  mutable std::vector<Slot> slots_;
+  uint32_t mask_ = 0;
+  size_t size_ = 0;
+  uint32_t lru_head_ = kNil;  // most recent
+  uint32_t lru_tail_ = kNil;  // least recent
   uint64_t lru_evictions_ = 0;
+  SimTime validated_through_ = 0.0;
+  uint64_t validate_seq_ = 0;  // op_seq_ at the last ValidateAllThrough
+  uint64_t op_seq_ = 0;        // bumped by Put/SetTimestamp
 };
 
 }  // namespace mobicache

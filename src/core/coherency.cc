@@ -122,13 +122,15 @@ uint64_t QuasiAtClientManager::OnReport(const Report& report,
     // Aging protocol (§7): a copy that would exceed alpha before the next
     // report is re-stamped now — it survived a report whose obligations had
     // matured, so the server vouched for it afresh. Younger copies keep
-    // their original stamp so their true age stays visible.
-    for (ItemId id : cache->Items()) {
-      const CacheEntry* entry = cache->Peek(id);
-      if (at.timestamp - entry->timestamp > alpha_ - latency_) {
-        cache->SetTimestamp(id, at.timestamp);
+    // their original stamp so their true age stays visible. (Selective
+    // re-stamping means the cache-wide watermark does not apply here.)
+    restamp_.clear();
+    cache->ForEachItem([&](ItemId id, const CacheEntry& entry) {
+      if (at.timestamp - entry.timestamp > alpha_ - latency_) {
+        restamp_.push_back(id);
       }
-    }
+    });
+    for (ItemId id : restamp_) cache->SetTimestamp(id, at.timestamp);
   }
 
   heard_any_ = true;

@@ -49,16 +49,16 @@ uint64_t GroupedAtClientManager::OnReport(const Report& report,
     invalidated = cache->size();
     cache->Clear();
   } else {
-    for (ItemId id : cache->Items()) {
+    victims_.clear();
+    cache->ForEachItem([&](ItemId id, const CacheEntry&) {
       if (std::binary_search(gat.groups.begin(), gat.groups.end(),
                              grouping_.GroupOf(id))) {
-        cache->Erase(id);
-        ++invalidated;
+        victims_.push_back(id);
       }
-    }
-    for (ItemId id : cache->Items()) {
-      cache->SetTimestamp(id, gat.timestamp);
-    }
+    });
+    for (ItemId id : victims_) cache->Erase(id);
+    invalidated = victims_.size();
+    cache->ValidateAllThrough(gat.timestamp);
   }
 
   heard_any_ = true;

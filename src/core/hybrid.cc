@@ -34,19 +34,46 @@ HybridSigServerStrategy::HybridSigServerStrategy(
   assert(family->n() == db->size());
 }
 
+void HybridSigServerStrategy::AttachUpdateFeed(Database* db) {
+  // Collect dirty ids as updates land instead of re-querying the journal
+  // per report (see SigServerStrategy::AttachUpdateFeed).
+  dirty_flags_.assign(db->size(), 0);
+  db->AddUpdateObserver([this](ItemId id, SimTime) {
+    if (!dirty_flags_[id]) {
+      dirty_flags_[id] = 1;
+      dirty_ids_.push_back(id);
+    }
+  });
+  feed_attached_ = true;
+}
+
 Report HybridSigServerStrategy::BuildReport(SimTime now, uint64_t interval) {
   HybridReport report;
   report.interval = interval;
   report.timestamp = now;
-  // One scan: hot changes since the previous report are listed explicitly,
+  // One pass over the interval's changes: hot changes are listed explicitly,
   // cold changes fold into the combined signatures.
-  for (const UpdatedItem& item : db_->UpdatedIn(last_folded_, now)) {
-    if (std::binary_search(hot_set_.begin(), hot_set_.end(), item.id)) {
-      if (item.updated_at > now - latency_) {
-        report.hot_ids.push_back(item.id);
+  if (feed_attached_) {
+    for (ItemId id : dirty_ids_) {
+      dirty_flags_[id] = 0;
+      if (std::binary_search(hot_set_.begin(), hot_set_.end(), id)) {
+        if (db_->Get(id).last_update > now - latency_) {
+          report.hot_ids.push_back(id);
+        }
+      } else {
+        state_.OnItemChanged(id);
       }
-    } else {
-      state_.OnItemChanged(item.id);
+    }
+    dirty_ids_.clear();
+  } else {
+    for (const UpdatedItem& item : db_->UpdatedIn(last_folded_, now)) {
+      if (std::binary_search(hot_set_.begin(), hot_set_.end(), item.id)) {
+        if (item.updated_at > now - latency_) {
+          report.hot_ids.push_back(item.id);
+        }
+      } else {
+        state_.OnItemChanged(item.id);
+      }
     }
   }
   last_folded_ = now;
@@ -76,30 +103,30 @@ uint64_t HybridSigClientManager::OnReport(const Report& report,
   // cache — the cold part revalidates from signatures regardless.
   const bool missed_one =
       !heard_any_ || hybrid.interval > last_interval_ + 1;
-  std::vector<ItemId> cold_cached;
-  for (ItemId id : cache->Items()) {
+  hot_victims_.clear();
+  cold_cached_.clear();
+  cache->ForEachItem([&](ItemId id, const CacheEntry&) {
     if (IsHot(id)) {
       const bool drop =
           missed_one || std::binary_search(hybrid.hot_ids.begin(),
                                            hybrid.hot_ids.end(), id);
-      if (drop) {
-        cache->Erase(id);
-        ++invalidated;
-      }
+      if (drop) hot_victims_.push_back(id);
     } else {
-      cold_cached.push_back(id);
+      cold_cached_.push_back(id);
     }
-  }
+  });
+  for (ItemId id : hot_victims_) cache->Erase(id);
+  invalidated += hot_victims_.size();
+  // DiagnoseAndAdopt expects the cached-id list sorted (as Items() was).
+  std::sort(cold_cached_.begin(), cold_cached_.end());
 
   // Cold half: syndrome diagnosis against the cold-only signatures.
-  for (ItemId id : view_.DiagnoseAndAdopt(hybrid.combined, cold_cached)) {
+  for (ItemId id : view_.DiagnoseAndAdopt(hybrid.combined, cold_cached_)) {
     cache->Erase(id);
     ++invalidated;
   }
 
-  for (ItemId id : cache->Items()) {
-    cache->SetTimestamp(id, hybrid.timestamp);
-  }
+  cache->ValidateAllThrough(hybrid.timestamp);
   heard_any_ = true;
   last_interval_ = hybrid.interval;
   return invalidated;

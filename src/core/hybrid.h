@@ -29,6 +29,7 @@ class HybridSigServerStrategy : public ServerStrategy {
 
   StrategyKind kind() const override { return StrategyKind::kHybridSig; }
   Report BuildReport(SimTime now, uint64_t interval) override;
+  void AttachUpdateFeed(Database* db) override;
   SimTime JournalHorizonSeconds() const override { return latency_; }
 
   const std::vector<ItemId>& hot_set() const { return hot_set_; }
@@ -40,6 +41,11 @@ class HybridSigServerStrategy : public ServerStrategy {
   std::vector<ItemId> hot_set_;
   ServerSignatureState state_;
   SimTime last_folded_ = 0.0;
+  // Dirty-id set fed by the database observer (when attached); replaces the
+  // per-report UpdatedIn journal scan.
+  bool feed_attached_ = false;
+  std::vector<uint8_t> dirty_flags_;
+  std::vector<ItemId> dirty_ids_;
 };
 
 /// Client half: AT rules for cached hot items (including the drop-on-missed-
@@ -63,6 +69,8 @@ class HybridSigClientManager : public ClientCacheManager {
   ClientSignatureView view_;  // over the cold part of the interest set
   bool heard_any_ = false;
   uint64_t last_interval_ = 0;
+  std::vector<ItemId> hot_victims_;  // scratch, reused across reports
+  std::vector<ItemId> cold_cached_;  // scratch, reused across reports
 };
 
 }  // namespace mobicache

@@ -12,11 +12,33 @@ SigServerStrategy::SigServerStrategy(const Database* db,
   assert(family->n() == db->size());
 }
 
+void SigServerStrategy::AttachUpdateFeed(Database* db) {
+  // Collect dirty ids as updates land instead of re-querying the journal
+  // per report; OnItemChanged reads the current value, so folding once per
+  // dirty id at report time is exact.
+  dirty_flags_.assign(db->size(), 0);
+  db->AddUpdateObserver([this](ItemId id, SimTime) {
+    if (!dirty_flags_[id]) {
+      dirty_flags_[id] = 1;
+      dirty_ids_.push_back(id);
+    }
+  });
+  feed_attached_ = true;
+}
+
 Report SigServerStrategy::BuildReport(SimTime now, uint64_t interval) {
   // Fold every item changed since the last snapshot into the combined
   // signatures, then broadcast the current m signatures.
-  for (const UpdatedItem& item : db_->UpdatedIn(last_folded_, now)) {
-    state_.OnItemChanged(item.id);
+  if (feed_attached_) {
+    for (ItemId id : dirty_ids_) {
+      state_.OnItemChanged(id);
+      dirty_flags_[id] = 0;
+    }
+    dirty_ids_.clear();
+  } else {
+    for (const UpdatedItem& item : db_->UpdatedIn(last_folded_, now)) {
+      state_.OnItemChanged(item.id);
+    }
   }
   last_folded_ = now;
 
@@ -36,7 +58,7 @@ uint64_t SigClientManager::OnReport(const Report& report, ClientCache* cache) {
   const std::vector<ItemId> invalid =
       view_.DiagnoseAndAdopt(sig.combined, cache->Items());
   for (ItemId id : invalid) cache->Erase(id);
-  for (ItemId id : cache->Items()) cache->SetTimestamp(id, sig.timestamp);
+  cache->ValidateAllThrough(sig.timestamp);
   return invalid.size();
 }
 

@@ -27,6 +27,7 @@ class SigServerStrategy : public ServerStrategy {
 
   StrategyKind kind() const override { return StrategyKind::kSig; }
   Report BuildReport(SimTime now, uint64_t interval) override;
+  void AttachUpdateFeed(Database* db) override;
   SimTime JournalHorizonSeconds() const override { return latency_; }
 
  private:
@@ -35,6 +36,11 @@ class SigServerStrategy : public ServerStrategy {
   SimTime latency_;
   ServerSignatureState state_;
   SimTime last_folded_ = 0.0;  // updates up to here are in `state_`
+  // Dirty-id set fed by the database observer (when attached); replaces the
+  // per-report UpdatedIn journal scan.
+  bool feed_attached_ = false;
+  std::vector<uint8_t> dirty_flags_;
+  std::vector<ItemId> dirty_ids_;
 };
 
 /// SIG client half.

@@ -43,6 +43,15 @@ enum class StrategyKind {
 /// Short stable names ("TS", "AT", "SIG", "nocache", "ATS").
 std::string_view StrategyName(StrategyKind kind);
 
+/// Chooses between the two equivalent ways of applying a report to a cache:
+/// probing the cache once per report entry (O(|report|)), or walking the
+/// cache and binary-searching the sorted report (O(|cache| log |report|)).
+/// The latter wins when the report dwarfs the cache, which is the common
+/// case at paper scale (10^6-item databases, tens of cached items).
+inline bool CacheDrivenScanPays(size_t report_entries, size_t cached_items) {
+  return report_entries > 4 * cached_items + 8;
+}
+
 /// Per-query feedback delivered to the server with an uplink request.
 /// `local_hit_times` is Method-1 piggyback data (§8.1): the timestamps of
 /// queries on this item that were answered locally since the previous uplink
@@ -68,6 +77,11 @@ class ServerStrategy {
 
   /// Builds the report broadcast at T = `now` with index `interval`.
   virtual Report BuildReport(SimTime now, uint64_t interval) = 0;
+
+  /// Called once before the broadcast schedule starts. Strategies that
+  /// maintain state incrementally (e.g. SIG's combined signatures) register
+  /// update observers here instead of rescanning the database per report.
+  virtual void AttachUpdateFeed(Database* db) { (void)db; }
 
   /// How far back the database journal must reach for this strategy's
   /// reports (w for TS, L for AT, ...). The cell prunes beyond this.

@@ -1,5 +1,6 @@
 #include "core/ts.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace mobicache {
@@ -19,10 +20,38 @@ Report TsServerStrategy::BuildReport(SimTime now, uint64_t interval) {
   report.interval = interval;
   report.timestamp = now;
   report.window = window_;
+  const SimTime lo = now - window_;
   // U_i = { [j, t_j] : T_i - w < t_j <= T_i }  (Eq. 1)
-  for (const UpdatedItem& item : db_->UpdatedIn(now - window_, now)) {
-    report.entries.push_back(TsReportEntry{item.id, item.updated_at});
+  if (have_prev_ && interval == prev_interval_ + 1) {
+    // Consecutive interval: the previous report already lists every id whose
+    // latest update fell in (T_{i-1} - w, T_{i-1}]. Expire what aged out of
+    // the window, splice in the one-interval delta, let fresher delta
+    // entries supersede stale carried ones. Both inputs are id-sorted, so a
+    // single merge yields the id-sorted result UpdatedIn would have built.
+    const std::vector<UpdatedItem> delta = db_->UpdatedIn(prev_now_, now);
+    report.entries.reserve(prev_entries_.size() + delta.size());
+    auto d = delta.begin();
+    for (const TsReportEntry& e : prev_entries_) {
+      while (d != delta.end() && d->id < e.id) {
+        report.entries.push_back(TsReportEntry{d->id, d->updated_at});
+        ++d;
+      }
+      if (d != delta.end() && d->id == e.id) continue;  // superseded
+      if (e.updated_at <= lo) continue;                 // aged out of w
+      report.entries.push_back(e);
+    }
+    for (; d != delta.end(); ++d) {
+      report.entries.push_back(TsReportEntry{d->id, d->updated_at});
+    }
+  } else {
+    for (const UpdatedItem& item : db_->UpdatedIn(lo, now)) {
+      report.entries.push_back(TsReportEntry{item.id, item.updated_at});
+    }
   }
+  have_prev_ = true;
+  prev_interval_ = interval;
+  prev_now_ = now;
+  prev_entries_ = report.entries;
   return report;
 }
 
@@ -45,16 +74,31 @@ uint64_t TsClientManager::OnReport(const Report& report, ClientCache* cache) {
   } else {
     // Purge cached items the report marks as changed after the copy's
     // validity timestamp; every surviving item is revalidated through T_i.
-    for (const TsReportEntry& entry : ts.entries) {
-      const CacheEntry* cached = cache->Peek(entry.id);
-      if (cached != nullptr && cached->timestamp < entry.updated_at) {
-        cache->Erase(entry.id);
-        ++invalidated;
+    if (CacheDrivenScanPays(ts.entries.size(), cache->size())) {
+      // Report dwarfs the cache: binary-search the id-sorted report once
+      // per cached item instead of probing the cache per report entry.
+      victims_.clear();
+      cache->ForEachItem([&](ItemId id, const CacheEntry& entry) {
+        auto it = std::lower_bound(
+            ts.entries.begin(), ts.entries.end(), id,
+            [](const TsReportEntry& e, ItemId v) { return e.id < v; });
+        if (it != ts.entries.end() && it->id == id &&
+            entry.timestamp < it->updated_at) {
+          victims_.push_back(id);
+        }
+      });
+      for (ItemId id : victims_) cache->Erase(id);
+      invalidated = victims_.size();
+    } else {
+      for (const TsReportEntry& entry : ts.entries) {
+        const CacheEntry* cached = cache->Peek(entry.id);
+        if (cached != nullptr && cached->timestamp < entry.updated_at) {
+          cache->Erase(entry.id);
+          ++invalidated;
+        }
       }
     }
-    for (ItemId id : cache->Items()) {
-      cache->SetTimestamp(id, ts.timestamp);
-    }
+    cache->ValidateAllThrough(ts.timestamp);
   }
 
   heard_any_ = true;

@@ -10,6 +10,7 @@
 #define MOBICACHE_CORE_TS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "core/strategy.h"
 
@@ -34,6 +35,13 @@ class TsServerStrategy : public ServerStrategy {
   SimTime latency_;
   uint64_t window_intervals_;
   SimTime window_;
+  // Previous report, kept so consecutive intervals build incrementally:
+  // carry entries forward, expire those older than w, splice in the
+  // one-interval delta — O(|report|) instead of re-scanning the window.
+  bool have_prev_ = false;
+  uint64_t prev_interval_ = 0;
+  SimTime prev_now_ = 0.0;
+  std::vector<TsReportEntry> prev_entries_;
 };
 
 /// TS client half: implements the §3.1 client algorithm.
@@ -54,6 +62,7 @@ class TsClientManager : public ClientCacheManager {
   uint64_t window_intervals_;
   bool heard_any_ = false;
   uint64_t last_interval_ = 0;
+  std::vector<ItemId> victims_;  // scratch, reused across reports
 };
 
 }  // namespace mobicache

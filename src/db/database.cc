@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "util/random.h"
 
@@ -21,52 +22,179 @@ Database::Database(uint64_t n, uint64_t seed) : seed_(seed) {
   }
 }
 
+int64_t Database::BucketIndexFor(SimTime t) const {
+  if (bucket_width_ <= 0.0) return 0;
+  // Bucket i covers (i * width, (i + 1) * width]: a broadcast at T_i = i*L
+  // closes bucket i-1, which then holds exactly the interval's updates.
+  const int64_t idx =
+      static_cast<int64_t>(std::ceil(t / bucket_width_)) - 1;
+  return idx < 0 ? 0 : idx;
+}
+
+void Database::BuildDigest(const Bucket& bucket) {
+  std::vector<UpdatedItem>& d = bucket.digest;
+  d.clear();
+  d.reserve(bucket.raw.size());
+  for (const JournalEntry& e : bucket.raw) {
+    d.push_back(UpdatedItem{e.id, e.time});
+  }
+  // Stable by id keeps each id's entries in ascending time order, so a
+  // per-id trailing run holds its latest in-bucket time. Runs longer than
+  // one entry (exact time ties) are kept whole: the raw scan they replace
+  // emits every entry matching the item's last_update.
+  std::stable_sort(d.begin(), d.end(),
+                   [](const UpdatedItem& a, const UpdatedItem& b) {
+                     return a.id < b.id;
+                   });
+  size_t out = 0;
+  for (size_t i = 0; i < d.size();) {
+    size_t j = i;
+    while (j < d.size() && d[j].id == d[i].id) ++j;
+    const SimTime last = d[j - 1].updated_at;
+    size_t k = j;
+    while (k > i && d[k - 1].updated_at == last) --k;
+    for (size_t m = k; m < j; ++m) d[out++] = d[m];
+    i = j;
+  }
+  d.resize(out);
+  bucket.digest_built = true;
+}
+
+void Database::AppendJournal(ItemId id, SimTime now) {
+  const int64_t idx = BucketIndexFor(now);
+  if (buckets_.empty()) {
+    buckets_.emplace_back();
+    buckets_.back().index = idx;
+  } else if (idx > buckets_.back().index) {
+    Bucket& closing = buckets_.back();
+    closing.sealed = true;
+    const size_t hint = closing.raw.size();
+    buckets_.emplace_back();
+    buckets_.back().index = idx;
+    buckets_.back().raw.reserve(hint);
+  }
+  buckets_.back().raw.push_back(JournalEntry{now, id});
+  ++journal_entries_;
+}
+
 void Database::ApplyUpdate(ItemId id, SimTime now) {
   assert(id < items_.size());
-  assert(journal_.empty() || now >= journal_.back().time);
+  assert(journal_entries_ == 0 || now >= buckets_.back().raw.back().time);
   ItemState& item = items_[id];
   ++item.version;
   item.value = SyntheticValue(seed_, id, item.version);
   item.last_update = now;
-  journal_.push_back(JournalEntry{now, id});
+  AppendJournal(id, now);
   ++total_updates_;
   if (observer_) observer_(id, now);
+  for (const auto& observer : extra_observers_) observer(id, now);
+}
+
+void Database::SetJournalBucketWidth(SimTime width) {
+  assert(width >= 0.0);
+  if (width == bucket_width_) return;
+  std::vector<JournalEntry> all;
+  all.reserve(journal_entries_);
+  for (const Bucket& bucket : buckets_) {
+    all.insert(all.end(), bucket.raw.begin(), bucket.raw.end());
+  }
+  bucket_width_ = width;
+  buckets_.clear();
+  journal_entries_ = 0;
+  for (const JournalEntry& e : all) AppendJournal(e.id, e.time);
 }
 
 std::vector<UpdatedItem> Database::UpdatedIn(SimTime lo, SimTime hi) const {
   std::vector<UpdatedItem> out;
   if (hi <= lo) return out;
-  // Find the first journal entry with time > lo.
-  auto first = std::upper_bound(
-      journal_.begin(), journal_.end(), lo,
-      [](SimTime t, const JournalEntry& e) { return t < e.time; });
-  for (auto it = first; it != journal_.end() && it->time <= hi; ++it) {
-    // Report an item only at its *latest* update within scope; entries that
-    // were later superseded (even by an update after `hi`) are not the
-    // item's last update and are skipped via the authoritative item state.
-    if (items_[it->id].last_update == it->time) {
-      out.push_back(UpdatedItem{it->id, it->time});
+  // Per-bucket id-sorted segments, merged pairwise below.
+  std::vector<size_t> starts;
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.raw.empty() || bucket.raw.back().time <= lo) continue;
+    if (bucket.raw.front().time > hi) break;
+    starts.push_back(out.size());
+    if (bucket.sealed && lo < bucket.raw.front().time &&
+        bucket.raw.back().time <= hi) {
+      // Whole bucket inside the window: splice the digest (built on the
+      // first such query, reused by every later one).
+      if (!bucket.digest_built) BuildDigest(bucket);
+      for (const UpdatedItem& d : bucket.digest) {
+        if (items_[d.id].last_update == d.updated_at) out.push_back(d);
+      }
+    } else {
+      auto first = std::upper_bound(
+          bucket.raw.begin(), bucket.raw.end(), lo,
+          [](SimTime t, const JournalEntry& e) { return t < e.time; });
+      for (auto it = first; it != bucket.raw.end() && it->time <= hi; ++it) {
+        // Report an item only at its *latest* update; entries later
+        // superseded (even past `hi`) are skipped via the item state.
+        if (items_[it->id].last_update == it->time) {
+          out.push_back(UpdatedItem{it->id, it->time});
+        }
+      }
+      std::sort(out.begin() + static_cast<ptrdiff_t>(starts.back()),
+                out.end(), [](const UpdatedItem& a, const UpdatedItem& b) {
+                  return a.id < b.id;
+                });
     }
   }
-  std::sort(out.begin(), out.end(),
-            [](const UpdatedItem& a, const UpdatedItem& b) {
-              return a.id < b.id;
-            });
+  // An id appears in at most one segment (its last update lives in one
+  // bucket), so a bottom-up merge of the segments yields the id order a
+  // global sort would.
+  while (starts.size() > 1) {
+    std::vector<size_t> next;
+    for (size_t i = 0; i + 1 < starts.size(); i += 2) {
+      const size_t end = (i + 2 < starts.size()) ? starts[i + 2] : out.size();
+      std::inplace_merge(out.begin() + static_cast<ptrdiff_t>(starts[i]),
+                         out.begin() + static_cast<ptrdiff_t>(starts[i + 1]),
+                         out.begin() + static_cast<ptrdiff_t>(end),
+                         [](const UpdatedItem& a, const UpdatedItem& b) {
+                           return a.id < b.id;
+                         });
+      next.push_back(starts[i]);
+    }
+    if (starts.size() % 2 != 0) next.push_back(starts[starts.size() - 1]);
+    starts = std::move(next);
+  }
   return out;
 }
 
 uint64_t Database::CountUpdatedIn(SimTime lo, SimTime hi) const {
-  return UpdatedIn(lo, hi).size();
+  uint64_t count = 0;
+  if (hi <= lo) return count;
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.raw.empty() || bucket.raw.back().time <= lo) continue;
+    if (bucket.raw.front().time > hi) break;
+    if (bucket.sealed && lo < bucket.raw.front().time &&
+        bucket.raw.back().time <= hi) {
+      if (!bucket.digest_built) BuildDigest(bucket);
+      for (const UpdatedItem& d : bucket.digest) {
+        if (items_[d.id].last_update == d.updated_at) ++count;
+      }
+    } else {
+      auto first = std::upper_bound(
+          bucket.raw.begin(), bucket.raw.end(), lo,
+          [](SimTime t, const JournalEntry& e) { return t < e.time; });
+      for (auto it = first; it != bucket.raw.end() && it->time <= hi; ++it) {
+        if (items_[it->id].last_update == it->time) ++count;
+      }
+    }
+  }
+  return count;
 }
 
 std::vector<UpdatedItem> Database::JournalIn(SimTime lo, SimTime hi) const {
   std::vector<UpdatedItem> out;
   if (hi <= lo) return out;
-  auto first = std::upper_bound(
-      journal_.begin(), journal_.end(), lo,
-      [](SimTime t, const JournalEntry& e) { return t < e.time; });
-  for (auto it = first; it != journal_.end() && it->time <= hi; ++it) {
-    out.push_back(UpdatedItem{it->id, it->time});
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.raw.empty() || bucket.raw.back().time <= lo) continue;
+    if (bucket.raw.front().time > hi) break;
+    auto first = std::upper_bound(
+        bucket.raw.begin(), bucket.raw.end(), lo,
+        [](SimTime t, const JournalEntry& e) { return t < e.time; });
+    for (auto it = first; it != bucket.raw.end() && it->time <= hi; ++it) {
+      out.push_back(UpdatedItem{it->id, it->time});
+    }
   }
   return out;
 }
@@ -75,11 +203,14 @@ uint64_t Database::VersionAt(ItemId id, SimTime t) const {
   assert(id < items_.size());
   uint64_t after = 0;
   // Updates strictly after t are still in the journal (caller's contract).
-  auto first = std::upper_bound(
-      journal_.begin(), journal_.end(), t,
-      [](SimTime time, const JournalEntry& e) { return time < e.time; });
-  for (auto it = first; it != journal_.end(); ++it) {
-    if (it->id == id) ++after;
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.raw.empty() || bucket.raw.back().time <= t) continue;
+    auto first = std::upper_bound(
+        bucket.raw.begin(), bucket.raw.end(), t,
+        [](SimTime time, const JournalEntry& e) { return time < e.time; });
+    for (auto it = first; it != bucket.raw.end(); ++it) {
+      if (it->id == id) ++after;
+    }
   }
   assert(items_[id].version >= after);
   return items_[id].version - after;
@@ -90,8 +221,27 @@ uint64_t Database::ValueAt(ItemId id, SimTime t) const {
 }
 
 void Database::PruneJournalBefore(SimTime horizon) {
-  while (!journal_.empty() && journal_.front().time <= horizon) {
-    journal_.pop_front();
+  while (!buckets_.empty() && buckets_.front().raw.back().time <= horizon) {
+    journal_entries_ -= buckets_.front().raw.size();
+    buckets_.pop_front();
+  }
+  if (buckets_.empty() || buckets_.front().raw.front().time > horizon) return;
+  // Partially covered front bucket: trim the raw prefix and any digest
+  // entries that fell with it (a digest entry at or before the horizon can
+  // no longer be any surviving entry's latest time).
+  Bucket& front = buckets_.front();
+  auto keep = std::upper_bound(
+      front.raw.begin(), front.raw.end(), horizon,
+      [](SimTime t, const JournalEntry& e) { return t < e.time; });
+  journal_entries_ -= static_cast<size_t>(keep - front.raw.begin());
+  front.raw.erase(front.raw.begin(), keep);
+  if (front.digest_built) {
+    front.digest.erase(
+        std::remove_if(front.digest.begin(), front.digest.end(),
+                       [horizon](const UpdatedItem& d) {
+                         return d.updated_at <= horizon;
+                       }),
+        front.digest.end());
   }
 }
 

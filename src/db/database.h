@@ -2,6 +2,15 @@
 // values, per-item update timestamps, and a time-ordered update journal that
 // answers the window queries the invalidation-report builders need
 // ("which items changed in (lo, hi], and when was each one's last change?").
+//
+// The journal is a ring of time buckets (one per broadcast interval once
+// SetJournalBucketWidth is wired by the server). A bucket that the clock has
+// moved past is sealed; the first window query that fully covers a sealed
+// bucket builds its per-id digest — each id once, at its latest in-bucket
+// update time, id-sorted — exactly once, so report builders splice k sealed
+// digests instead of re-scanning and re-sorting k*L seconds of raw entries
+// per report, while workloads that never query the journal (no-caching
+// cells) never pay for digests at all. Pruning drops whole buckets.
 
 #ifndef MOBICACHE_DB_DATABASE_H_
 #define MOBICACHE_DB_DATABASE_H_
@@ -50,6 +59,19 @@ class Database {
   /// monotonically non-decreasing across calls.
   void ApplyUpdate(ItemId id, SimTime now);
 
+  /// Hints that `id` will be updated or read soon. With millions of items
+  /// the per-update random access to the item array misses every cache
+  /// level; a caller that knows the id ahead of time (the update generator
+  /// samples it one event early) can hide that miss behind the intervening
+  /// event dispatches.
+  void PrefetchItem(ItemId id) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&items_[id], /*rw=*/1, /*locality=*/1);
+#else
+    (void)id;
+#endif
+  }
+
   /// Items whose *last* update falls in (lo, hi], each reported once with
   /// its latest update time, in increasing id order. This is exactly the
   /// report-list definition used by TS (Eq. 1) and AT (Eq. 2).
@@ -80,7 +102,14 @@ class Database {
   void PruneJournalBefore(SimTime horizon);
 
   uint64_t total_updates() const { return total_updates_; }
-  size_t journal_size() const { return journal_.size(); }
+  size_t journal_size() const { return journal_entries_; }
+
+  /// Sets the bucket width (normally the broadcast latency L; 0 keeps the
+  /// whole journal in one bucket). Existing entries are re-bucketed, so this
+  /// may be called at any time; the server wires it before starting the
+  /// broadcast schedule.
+  void SetJournalBucketWidth(SimTime width);
+  SimTime journal_bucket_width() const { return bucket_width_; }
 
   /// Installs a callback invoked after every ApplyUpdate. Used by the
   /// stateful-server baseline, which reacts to individual updates instead of
@@ -89,17 +118,47 @@ class Database {
     observer_ = std::move(observer);
   }
 
+  /// Adds a further update callback (the report strategies' incremental
+  /// feeds); unlike the single SetUpdateObserver slot these accumulate.
+  void AddUpdateObserver(std::function<void(ItemId, SimTime)> observer) {
+    extra_observers_.push_back(std::move(observer));
+  }
+
+  /// Removes every observer installed via AddUpdateObserver.
+  void ClearExtraObservers() { extra_observers_.clear(); }
+
  private:
   struct JournalEntry {
     SimTime time;
     ItemId id;
   };
 
+  /// One bucket of the journal ring, covering times in
+  /// (index * width, (index + 1) * width].
+  struct Bucket {
+    int64_t index = 0;
+    std::vector<JournalEntry> raw;   ///< Ascending time.
+    /// Built lazily on the first fully-covering window query of a sealed
+    /// bucket: each id once at its latest in-bucket time (ties kept with
+    /// their multiplicity), ascending by id. `mutable` because the build is
+    /// a cache fill under const query methods.
+    mutable std::vector<UpdatedItem> digest;
+    mutable bool digest_built = false;
+    bool sealed = false;  ///< The clock has moved past this bucket.
+  };
+
+  int64_t BucketIndexFor(SimTime t) const;
+  void AppendJournal(ItemId id, SimTime now);
+  static void BuildDigest(const Bucket& bucket);
+
   std::vector<ItemState> items_;
-  std::deque<JournalEntry> journal_;  // ascending time
+  std::deque<Bucket> buckets_;  // ascending index; raw never empty
+  size_t journal_entries_ = 0;
+  SimTime bucket_width_ = 0.0;
   uint64_t total_updates_ = 0;
   uint64_t seed_;
   std::function<void(ItemId, SimTime)> observer_;
+  std::vector<std::function<void(ItemId, SimTime)>> extra_observers_;
 };
 
 /// Derives the synthetic value of (`seed`, `id`, `version`). Exposed so

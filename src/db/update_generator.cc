@@ -49,11 +49,13 @@ double UpdateGenerator::RateOf(ItemId id) const {
 
 void UpdateGenerator::ScheduleNext() {
   const double gap = rng_.Exponential(total_rate_);
+  next_item_ = SampleItem();
+  db_->PrefetchItem(next_item_);
   pending_ = sim_->ScheduleAfter(gap, [this] { Fire(); });
 }
 
 void UpdateGenerator::Fire() {
-  db_->ApplyUpdate(SampleItem(), sim_->Now());
+  db_->ApplyUpdate(next_item_, sim_->Now());
   ++updates_generated_;
   ScheduleNext();
 }

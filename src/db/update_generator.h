@@ -56,6 +56,13 @@ class UpdateGenerator {
   void Fire();
   ItemId SampleItem();
 
+  /// The item of the *pending* update. Sampled at schedule time — one event
+  /// ahead of its ApplyUpdate — so its state line can be prefetched across
+  /// the intervening event dispatches. The RNG stream is unchanged: the
+  /// draws per cycle (gap, then item) happen in the same order as sampling
+  /// the item inside Fire() did.
+  ItemId next_item_ = 0;
+
   Simulator* sim_;
   Database* db_;
   Rng rng_;

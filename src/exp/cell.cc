@@ -20,8 +20,12 @@ namespace mobicache {
 Cell::Cell(CellConfig config) : config_(std::move(config)) {}
 
 Cell::~Cell() {
-  // The database's update observer may reference the registry; detach first.
-  if (db_ != nullptr) db_->SetUpdateObserver(nullptr);
+  // The database's update observers may reference the registry or the
+  // server strategy; detach them all first.
+  if (db_ != nullptr) {
+    db_->SetUpdateObserver(nullptr);
+    db_->ClearExtraObservers();
+  }
 }
 
 std::vector<MobileUnit*> Cell::units() {

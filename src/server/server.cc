@@ -28,6 +28,11 @@ Status Server::Start() {
   if (broadcaster_ != nullptr) {
     return Status::FailedPrecondition("server already started");
   }
+  // Bucket the journal by broadcast interval so report builders splice
+  // sealed per-interval digests instead of re-scanning their window, and
+  // let incremental strategies tap the update stream directly.
+  db_->SetJournalBucketWidth(config_.latency);
+  strategy_->AttachUpdateFeed(db_);
   broadcaster_ = std::make_unique<PeriodicProcess>(
       sim_, sim_->Now(), config_.latency,
       [this](uint64_t interval) { Broadcast(interval); });
@@ -40,8 +45,11 @@ void Server::Stop() {
 
 void Server::Broadcast(uint64_t interval) {
   const SimTime now = sim_->Now();
-  Report report = strategy_->BuildReport(now, interval);
-  const uint64_t bits = ReportSizeBits(report, config_.sizes);
+  // One immutable report per interval, shared by the jittered re-delivery
+  // lambda and every attached unit — no per-broadcast copies.
+  auto report = std::make_shared<const Report>(
+      strategy_->BuildReport(now, interval));
+  const uint64_t bits = ReportSizeBits(*report, config_.sizes);
 
   ++stats_.reports_broadcast;
   stats_.report_bits.Add(static_cast<double>(bits));
@@ -55,16 +63,15 @@ void Server::Broadcast(uint64_t interval) {
 
   const double jitter = delivery_ == nullptr ? 0.0 : delivery_->SampleJitter();
   if (jitter <= 0.0) {
-    Deliver(report, 0.0);
+    Deliver(std::move(report), bits, 0.0);
   } else {
-    sim_->ScheduleAfter(jitter, [this, report = std::move(report), jitter] {
-      Deliver(report, jitter);
-    });
+    sim_->ScheduleAfter(jitter, [this, report = std::move(report), bits,
+                                 jitter] { Deliver(report, bits, jitter); });
   }
 }
 
-void Server::Deliver(const Report& report, double jitter) {
-  const uint64_t bits = ReportSizeBits(report, config_.sizes);
+void Server::Deliver(std::shared_ptr<const Report> report, uint64_t bits,
+                     double jitter) {
   // The server owns the downlink schedule: the report claims the head of
   // the interval rather than queueing behind pending query traffic.
   const SimTime done =
@@ -74,9 +81,9 @@ void Server::Deliver(const Report& report, double jitter) {
       delivery_ == nullptr ? duration
                            : delivery_->ListenSeconds(jitter, duration);
   // Units consume the report when its transmission completes.
-  sim_->ScheduleAt(done, [this, report, listen] {
-    if (report_observer_) report_observer_(report);
-    for (MobileUnit* unit : units_) unit->OnBroadcast(report, listen);
+  sim_->ScheduleAt(done, [this, report = std::move(report), listen] {
+    if (report_observer_) report_observer_(*report);
+    for (MobileUnit* unit : units_) unit->OnBroadcast(*report, listen);
   });
 }
 

@@ -75,7 +75,8 @@ class Server : public UplinkService {
 
  private:
   void Broadcast(uint64_t interval);
-  void Deliver(const Report& report, double jitter);
+  void Deliver(std::shared_ptr<const Report> report, uint64_t bits,
+               double jitter);
 
   Simulator* sim_;
   Database* db_;
