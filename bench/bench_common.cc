@@ -85,11 +85,19 @@ SweepOptions ParseSweepArgs(int argc, char** argv, SweepOptions defaults,
       options.seed = value;
     } else if (ParseFlag(arg, "--threads", &value)) {
       options.threads = ToIntFlag("--threads", value);
+    } else if (ParseFlag(arg, "--shards", &value)) {
+      options.shards = ToIntFlag("--shards", value);
+      if (options.shards < 1) {
+        std::fprintf(stderr, "--shards must be >= 1 (got %d)\n",
+                     options.shards);
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--points=N] [--measure=N] "
                    "[--warmup=N] [--units=N] [--hotspot=N] [--seed=N] "
-                   "[--threads=N] [--no-sim] [--csv=PATH] [--json[=PATH]]\n",
+                   "[--threads=N] [--shards=N] [--no-sim] [--csv=PATH] "
+                   "[--json[=PATH]]\n",
                    arg, argv[0]);
       std::exit(2);
     }

@@ -14,7 +14,8 @@
 namespace mobicache {
 
 /// Parses --points=N --measure=N --warmup=N --units=N --hotspot=N --seed=N
-/// --threads=N --no-sim --csv=PATH --json[=PATH] over the given defaults.
+/// --threads=N --shards=N --no-sim --csv=PATH --json[=PATH] over the given
+/// defaults.
 /// Numeric flags reject non-numeric or overflowing values with a clear
 /// message. Unknown flags abort with a usage message. `csv_path` (if any) is
 /// returned through the optional out parameter; `json_path` likewise — a

@@ -73,6 +73,14 @@ BenchRecord MakeBenchRecord(const std::string& name,
   record.measure_intervals = options.measure_intervals;
   record.seed = options.seed;
   record.simulate = options.simulate;
+  record.shards = options.shards;
+  record.breakdown.reserve(result.cell_timings.size());
+  for (const SweepResult::CellTiming& t : result.cell_timings) {
+    BenchRecord::Breakdown b;
+    b.label = std::string(StrategyName(t.kind)) + "@x=" + Num(t.x);
+    b.seconds = t.wall_seconds;
+    record.breakdown.push_back(std::move(b));
+  }
   return record;
 }
 
@@ -96,6 +104,14 @@ std::string BenchRecordToJson(const BenchRecord& r) {
   os << ",\n  \"measure_intervals\": " << r.measure_intervals;
   os << ",\n  \"seed\": " << r.seed;
   os << ",\n  \"simulate\": " << (r.simulate ? "true" : "false");
+  os << ",\n  \"shards\": " << r.shards;
+  os << ",\n  \"breakdown\": [";
+  for (size_t i = 0; i < r.breakdown.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    {\"label\": ";
+    AppendEscaped(r.breakdown[i].label, os);
+    os << ", \"seconds\": " << Num(r.breakdown[i].seconds) << "}";
+  }
+  os << (r.breakdown.empty() ? "]" : "\n  ]");
   os << "\n}\n";
   return os.str();
 }

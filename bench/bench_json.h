@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "exp/sweep.h"
 #include "util/status.h"
@@ -36,6 +37,17 @@ struct BenchRecord {
   uint64_t measure_intervals = 0;
   uint64_t seed = 0;
   bool simulate = true;
+  /// Intra-cell shards per simulated cell (SweepOptions::shards).
+  int shards = 1;
+
+  /// Optional wall-time breakdown: one labelled timing per simulated cell
+  /// (sweep benches label by "<strategy>@x=<point>") or per shard/phase
+  /// (the megacell bench). Deterministic order; empty when not recorded.
+  struct Breakdown {
+    std::string label;
+    double seconds = 0.0;
+  };
+  std::vector<Breakdown> breakdown;
 };
 
 /// Fills the work/config fields from a finished sweep + its options and

@@ -6,8 +6,17 @@ namespace mobicache {
 
 StatefulRegistry::StatefulRegistry(StatefulMode mode, Channel* channel,
                                    MessageSizes sizes)
-    : mode_(mode), channel_(channel), sizes_(sizes) {
-  assert(mode == StatefulMode::kIdeal || channel != nullptr);
+    : mode_(mode), channel_(channel), sizes_(sizes) {}
+
+void StatefulRegistry::TransmitBits(uint64_t bits, TrafficClass cls) {
+  if (transmit_sink_) {
+    transmit_sink_(bits, cls);
+  } else if (channel_ != nullptr) {
+    channel_->Transmit(bits, cls);
+  } else {
+    assert(mode_ == StatefulMode::kIdeal &&
+           "kStateful registry needs a channel or a transmit sink");
+  }
 }
 
 StatefulRegistry::ClientId StatefulRegistry::RegisterClient(
@@ -35,8 +44,8 @@ void StatefulRegistry::OnClientDropped(ClientId client, ItemId id) {
 
 void StatefulRegistry::ChargeControlMessage() {
   ++control_messages_;
-  if (mode_ == StatefulMode::kStateful && channel_ != nullptr) {
-    channel_->Transmit(sizes_.bq, TrafficClass::kUplinkQuery);
+  if (mode_ == StatefulMode::kStateful) {
+    TransmitBits(sizes_.bq, TrafficClass::kUplinkQuery);
   }
 }
 
@@ -80,8 +89,8 @@ void StatefulRegistry::OnUpdate(ItemId id, SimTime now) {
       ++invalidations_missed_asleep_;
       continue;
     }
-    if (mode_ == StatefulMode::kStateful && channel_ != nullptr) {
-      channel_->Transmit(sizes_.id_bits, TrafficClass::kReport);
+    if (mode_ == StatefulMode::kStateful) {
+      TransmitBits(sizes_.id_bits, TrafficClass::kReport);
     }
     ++invalidations_sent_;
     rec.invalidate(id);

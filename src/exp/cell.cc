@@ -4,15 +4,9 @@
 #include <cmath>
 #include <utility>
 
-#include "core/at.h"
-#include "core/grouped.h"
-#include "core/hybrid.h"
-#include "core/nocache.h"
-#include "core/sig_strategy.h"
-#include "core/ts.h"
+#include "exp/strategy_factory.h"
 #include "mu/hotspot.h"
 #include "mu/sleep_model.h"
-#include "util/bits.h"
 #include "util/random.h"
 
 namespace mobicache {
@@ -35,122 +29,11 @@ std::vector<MobileUnit*> Cell::units() {
   return out;
 }
 
-std::unique_ptr<ServerStrategy> Cell::MakeServerStrategy() {
-  const ModelParams& m = config_.model;
-  switch (config_.strategy) {
-    case StrategyKind::kTs:
-      return std::make_unique<TsServerStrategy>(db_.get(), m.L, m.k);
-    case StrategyKind::kAt:
-      return std::make_unique<AtServerStrategy>(db_.get(), m.L);
-    case StrategyKind::kSig:
-      return std::make_unique<SigServerStrategy>(db_.get(), family_.get(),
-                                                 m.L);
-    case StrategyKind::kAdaptiveTs:
-      return std::make_unique<AdaptiveTsServerStrategy>(db_.get(), m.L,
-                                                        sizes_,
-                                                        config_.adaptive);
-    case StrategyKind::kQuasiAt:
-      if (config_.quasi_arithmetic) {
-        return std::make_unique<ArithmeticAtServerStrategy>(
-            db_.get(), walk_.get(), m.L, config_.quasi_epsilon);
-      }
-      return std::make_unique<QuasiAtServerStrategy>(
-          db_.get(), m.L, config_.quasi_alpha_intervals);
-    case StrategyKind::kGroupedAt:
-      return std::make_unique<GroupedAtServerStrategy>(db_.get(), m.L,
-                                                       config_.num_groups);
-    case StrategyKind::kHybridSig:
-      return std::make_unique<HybridSigServerStrategy>(
-          db_.get(), family_.get(), m.L, config_.hybrid_hot_set);
-    case StrategyKind::kNoCache:
-    case StrategyKind::kIdeal:
-    case StrategyKind::kStateful:
-    case StrategyKind::kAsync:
-      return std::make_unique<NullServerStrategy>();
-  }
-  return nullptr;
-}
-
-std::unique_ptr<ClientCacheManager> Cell::MakeClientManager(
-    const std::vector<ItemId>& hotspot) {
-  const ModelParams& m = config_.model;
-  switch (config_.strategy) {
-    case StrategyKind::kTs:
-      return std::make_unique<TsClientManager>(m.k);
-    case StrategyKind::kAt:
-      return std::make_unique<AtClientManager>();
-    case StrategyKind::kSig:
-      return std::make_unique<SigClientManager>(family_.get(), hotspot);
-    case StrategyKind::kAdaptiveTs:
-      return std::make_unique<AdaptiveTsClientManager>(m.L, config_.adaptive);
-    case StrategyKind::kQuasiAt:
-      if (config_.quasi_arithmetic) {
-        // Arithmetic-condition clients are plain AT clients; the filtering
-        // happens entirely server-side.
-        return std::make_unique<AtClientManager>();
-      }
-      return std::make_unique<QuasiAtClientManager>(
-          m.L * static_cast<double>(config_.quasi_alpha_intervals), m.L);
-    case StrategyKind::kGroupedAt:
-      return std::make_unique<GroupedAtClientManager>(m.n,
-                                                      config_.num_groups);
-    case StrategyKind::kHybridSig:
-      return std::make_unique<HybridSigClientManager>(
-          family_.get(), hotspot, config_.hybrid_hot_set);
-    case StrategyKind::kNoCache:
-      return std::make_unique<NoCacheClientManager>();
-    case StrategyKind::kAsync:
-      return std::make_unique<AsyncClientManager>();
-    case StrategyKind::kIdeal:
-      return std::make_unique<StatefulClientManager>(StatefulMode::kIdeal);
-    case StrategyKind::kStateful:
-      return std::make_unique<StatefulClientManager>(StatefulMode::kStateful);
-  }
-  return nullptr;
-}
-
 Status Cell::Build() {
   if (built_) return Status::FailedPrecondition("cell already built");
+  MOBICACHE_RETURN_IF_ERROR(NormalizeCellConfig(&config_));
   const ModelParams& m = config_.model;
-  if (m.n == 0) return Status::InvalidArgument("database size must be >= 1");
-  if (m.L <= 0.0) return Status::InvalidArgument("latency must be positive");
-  if (m.W <= 0.0) return Status::InvalidArgument("bandwidth must be positive");
-  if (m.s < 0.0 || m.s > 1.0) {
-    return Status::InvalidArgument("sleep probability must be in [0, 1]");
-  }
-  if (config_.hotspot_size == 0 || config_.hotspot_size > m.n) {
-    return Status::InvalidArgument("hotspot size must be in [1, n]");
-  }
-  if (config_.num_units == 0) {
-    return Status::InvalidArgument("need at least one mobile unit");
-  }
-  if (config_.strategy == StrategyKind::kGroupedAt &&
-      (config_.num_groups == 0 || config_.num_groups > m.n)) {
-    return Status::InvalidArgument("num_groups must be in [1, n]");
-  }
-  if (!config_.custom_hotspots.empty()) {
-    if (config_.custom_hotspots.size() != config_.num_units) {
-      return Status::InvalidArgument(
-          "custom_hotspots must have one entry per unit");
-    }
-    for (const auto& hotspot : config_.custom_hotspots) {
-      if (hotspot.empty()) {
-        return Status::InvalidArgument("custom hotspot may not be empty");
-      }
-      for (ItemId id : hotspot) {
-        if (id >= m.n) {
-          return Status::InvalidArgument("custom hotspot item out of range");
-        }
-      }
-    }
-  }
-
-  sizes_.bq = m.bq;
-  sizes_.ba = m.ba;
-  sizes_.bT = m.bT;
-  sizes_.id_bits =
-      m.id_bits_override != 0 ? m.id_bits_override : BitsForIds(m.n);
-  sizes_.sig_bits = m.g;
+  sizes_ = ComputeMessageSizes(m);
 
   uint64_t seed_state = config_.seed;
   const uint64_t db_seed = SplitMix64(&seed_state);
@@ -159,11 +42,11 @@ Status Cell::Build() {
   const uint64_t delivery_seed = SplitMix64(&seed_state);
   const uint64_t hotspot_seed = SplitMix64(&seed_state);
 
-  if (!config_.update_rates.empty() && config_.update_rates.size() != m.n) {
-    return Status::InvalidArgument("update_rates size must equal n");
-  }
-
   sim_ = std::make_unique<Simulator>();
+  // One ticker + at most one pending arrival per unit, plus the
+  // server/update machinery: pre-size so a 10^6-unit cell never reallocates
+  // its heap or slot slab mid-run.
+  sim_->Reserve(2 * config_.num_units + 16);
   db_ = std::make_unique<Database>(m.n, db_seed);
   if (config_.update_rates.empty()) {
     updates_ = std::make_unique<UpdateGenerator>(sim_.get(), db_.get(), m.mu,
@@ -176,35 +59,8 @@ Status Cell::Build() {
   delivery_ = std::make_unique<DeliveryModel>(
       config_.delivery, config_.mean_jitter_seconds, delivery_seed);
 
-  if (config_.strategy == StrategyKind::kHybridSig) {
-    if (config_.hybrid_hot_set.empty()) {
-      config_.hybrid_hot_set = ContiguousHotSpot(m.n, 0, config_.hotspot_size);
-    }
-    if (!std::is_sorted(config_.hybrid_hot_set.begin(),
-                        config_.hybrid_hot_set.end())) {
-      return Status::InvalidArgument("hybrid_hot_set must be sorted");
-    }
-    for (ItemId id : config_.hybrid_hot_set) {
-      if (id >= m.n) {
-        return Status::InvalidArgument("hybrid_hot_set item out of range");
-      }
-    }
-  }
-  if (config_.strategy == StrategyKind::kSig ||
-      config_.strategy == StrategyKind::kHybridSig) {
-    SignatureParams sp;
-    sp.f = m.f;
-    sp.g = m.g;
-    sp.k_threshold = config_.sig_k_threshold;
-    sp.per_item_threshold = config_.sig_per_item_threshold;
-    sp.gamma = config_.sig_gamma;
-    sp.m = SigSignatureCount(m);
-    family_ = std::make_unique<SignatureFamily>(m.n, sp, family_seed);
-  }
-  if (config_.strategy == StrategyKind::kQuasiAt && config_.quasi_arithmetic) {
-    walk_ = std::make_unique<NumericWalk>(db_seed ^ 0x5bd1e995,
-                                          config_.numeric_step_scale);
-  }
+  family_ = MakeSignatureFamilyForCell(config_, family_seed);
+  walk_ = MakeNumericWalkForCell(config_, db_seed);
   const bool stateful = config_.strategy == StrategyKind::kIdeal ||
                         config_.strategy == StrategyKind::kStateful;
   const bool async = config_.strategy == StrategyKind::kAsync;
@@ -226,11 +82,18 @@ Status Cell::Build() {
     });
   }
 
+  StrategyFactoryContext ctx;
+  ctx.config = &config_;
+  ctx.sizes = sizes_;
+  ctx.db = db_.get();
+  ctx.family = family_.get();
+  ctx.walk = walk_.get();
+
   ServerConfig sc;
   sc.latency = m.L;
   sc.sizes = sizes_;
   server_ = std::make_unique<Server>(sim_.get(), db_.get(), channel_.get(),
-                                     MakeServerStrategy(), delivery_.get(),
+                                     MakeServerStrategy(ctx), delivery_.get(),
                                      sc);
 
   Rng hotspot_rng(hotspot_seed);
@@ -264,7 +127,7 @@ Status Cell::Build() {
     }
 
     auto unit = std::make_unique<MobileUnit>(
-        sim_.get(), std::move(mc), MakeClientManager(hotspot),
+        sim_.get(), std::move(mc), MakeClientManager(ctx, hotspot),
         std::move(sleep), server_.get(), mu_seed);
     if (stateful) {
       unit->BindStatefulRegistry(

@@ -147,10 +147,6 @@ class Cell {
   const CellConfig& config() const { return config_; }
 
  private:
-  std::unique_ptr<ServerStrategy> MakeServerStrategy();
-  std::unique_ptr<ClientCacheManager> MakeClientManager(
-      const std::vector<ItemId>& hotspot);
-
   CellConfig config_;
   MessageSizes sizes_;
   bool built_ = false;

@@ -1,0 +1,555 @@
+#include "exp/megacell.h"
+
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+#include "exp/strategy_factory.h"
+#include "mu/hotspot.h"
+#include "mu/sleep_model.h"
+#include "util/random.h"
+
+namespace mobicache {
+
+namespace {
+using WallClock = std::chrono::steady_clock;
+
+double SecondsSince(WallClock::time_point t0) {
+  return std::chrono::duration<double>(WallClock::now() - t0).count();
+}
+}  // namespace
+
+/// One shard: a private simulator, a contiguous slice of the unit
+/// population with its SoA hot state, per-shard replicas of the components
+/// that are not safe (or not meaningful) to share across threads, and the
+/// chronological log the barrier replays.
+struct MegaCell::Shard {
+  /// One logged server interaction. Appended at shard-simulation-time order
+  /// (the shard clock is monotonic), so the log is sorted by time.
+  struct LogRecord {
+    enum Kind : uint8_t { kUplink, kTransmit };
+    SimTime time = 0.0;
+    Kind kind = kUplink;
+    UplinkQueryInfo info;        ///< kUplink.
+    uint64_t bits = 0;           ///< kTransmit.
+    TrafficClass cls = TrafficClass::kReport;  ///< kTransmit.
+  };
+
+  /// Shard-side uplink: answers from the (shard-phase-quiescent) database
+  /// at the shard's own clock and logs the query for barrier replay. The
+  /// value can be up to one interval newer than the classic interleaving —
+  /// see the header's value-skew note.
+  struct Uplink final : UplinkService {
+    Uplink(Shard* shard, const Database* db) : shard(shard), db(db) {}
+    FetchResult FetchItem(const UplinkQueryInfo& info) override {
+      const SimTime now = shard->sim.Now();
+      LogRecord rec;
+      rec.time = now;
+      rec.kind = LogRecord::kUplink;
+      rec.info = info;
+      shard->log.push_back(std::move(rec));
+      return FetchResult{db->Get(info.id).value, now};
+    }
+    Shard* shard;
+    const Database* db;
+  };
+
+  explicit Shard(const Database* db) : uplink(this, db) {}
+
+  void LogTransmit(uint64_t bits, TrafficClass cls) {
+    LogRecord rec;
+    rec.time = sim.Now();
+    rec.kind = LogRecord::kTransmit;
+    rec.bits = bits;
+    rec.cls = cls;
+    log.push_back(std::move(rec));
+  }
+
+  /// Delivers one report to the slice: the sleeping/immediate-mode units
+  /// are settled entirely from the SoA lanes; only awake report-consuming
+  /// units dereference their MobileUnit.
+  void FanOut(const Report& report, double listen_seconds) {
+    const size_t n = units.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (!soa.awake[i]) {
+        ++soa.reports_missed[i];
+        continue;
+      }
+      ++soa.reports_heard[i];
+      soa.listen_seconds[i] += listen_seconds;
+      if (soa.immediate[i]) continue;
+      units[i]->OnReportDelivery(report);
+    }
+  }
+
+  /// Asynchronous-mode invalidation fan-out (AsyncBroadcaster::OnUpdate's
+  /// per-unit half, restricted to this slice).
+  void PushInvalidateAwake(ItemId id) {
+    const size_t n = units.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (soa.awake[i]) {
+        units[i]->PushInvalidate(id);
+        ++async_deliveries;
+      }
+    }
+  }
+
+  Simulator sim;
+  MuHotSoA soa;
+  std::vector<std::unique_ptr<MobileUnit>> units;
+  /// SIG strategies: deterministic per-shard replica of the signature
+  /// family (its subset-expansion memo is not thread-safe to share).
+  std::unique_ptr<SignatureFamily> family;
+  /// Stateful baselines: per-shard registry replica over this slice's
+  /// clients (channel charges routed into the log via the transmit sink).
+  std::unique_ptr<StatefulRegistry> registry;
+  Uplink uplink;
+  std::vector<LogRecord> log;
+  uint64_t async_deliveries = 0;
+  double wall_seconds = 0.0;
+};
+
+MegaCell::MegaCell(MegaCellConfig config) : config_(std::move(config)) {}
+
+MegaCell::~MegaCell() {
+  // The database's update observers reference this object's trace buffer
+  // and the server strategy; detach them before members are torn down.
+  if (db_ != nullptr) {
+    db_->SetUpdateObserver(nullptr);
+    db_->ClearExtraObservers();
+  }
+}
+
+Status MegaCell::Build() {
+  if (built_) return Status::FailedPrecondition("megacell already built");
+  MOBICACHE_RETURN_IF_ERROR(NormalizeCellConfig(&config_.cell));
+  if (config_.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (config_.num_shards > config_.cell.num_units) {
+    return Status::InvalidArgument(
+        "num_shards must not exceed num_units (empty shards would change "
+        "nothing but waste threads)");
+  }
+  const CellConfig& cc = config_.cell;
+  const ModelParams& m = cc.model;
+  sizes_ = ComputeMessageSizes(m);
+
+  // Seed chain — field for field the same derivation as Cell::Build, and
+  // per-unit seeds drawn in *global* unit order below, so every RNG stream
+  // is independent of the shard count.
+  uint64_t seed_state = cc.seed;
+  const uint64_t db_seed = SplitMix64(&seed_state);
+  const uint64_t update_seed = SplitMix64(&seed_state);
+  const uint64_t family_seed = SplitMix64(&seed_state);
+  const uint64_t delivery_seed = SplitMix64(&seed_state);
+  const uint64_t hotspot_seed = SplitMix64(&seed_state);
+
+  sim_ = std::make_unique<Simulator>();
+  sim_->Reserve(1024);
+  db_ = std::make_unique<Database>(m.n, db_seed);
+  if (cc.update_rates.empty()) {
+    updates_ = std::make_unique<UpdateGenerator>(sim_.get(), db_.get(), m.mu,
+                                                 update_seed);
+  } else {
+    updates_ = std::make_unique<UpdateGenerator>(
+        sim_.get(), db_.get(), cc.update_rates, update_seed);
+  }
+  channel_ = std::make_unique<Channel>(sim_.get(), m.W);
+  delivery_ = std::make_unique<DeliveryModel>(
+      cc.delivery, cc.mean_jitter_seconds, delivery_seed);
+  family_ = MakeSignatureFamilyForCell(cc, family_seed);
+  walk_ = MakeNumericWalkForCell(cc, db_seed);
+
+  stateful_mode_ = cc.strategy == StrategyKind::kIdeal ||
+                   cc.strategy == StrategyKind::kStateful;
+  async_mode_ = cc.strategy == StrategyKind::kAsync;
+  trace_updates_ = stateful_mode_ || async_mode_;
+  if (trace_updates_) {
+    db_->SetUpdateObserver([this](ItemId id, SimTime t) {
+      update_trace_.push_back(TraceRecord{t, id});
+    });
+  }
+
+  StrategyFactoryContext server_ctx;
+  server_ctx.config = &config_.cell;
+  server_ctx.sizes = sizes_;
+  server_ctx.db = db_.get();
+  server_ctx.family = family_.get();
+  server_ctx.walk = walk_.get();
+
+  ServerConfig sc;
+  sc.latency = m.L;
+  sc.sizes = sizes_;
+  server_ = std::make_unique<Server>(sim_.get(), db_.get(), channel_.get(),
+                                     MakeServerStrategy(server_ctx),
+                                     delivery_.get(), sc);
+  server_->SetDeliverySink([this](Server::ReportDelivery d) {
+    pending_deliveries_.push_back(std::move(d));
+  });
+
+  // Contiguous partition: shard s holds global units
+  // [shard_offset_[s], shard_offset_[s + 1]), the first `rem` shards one
+  // unit larger. Contiguity is what makes (time, shard) replay order equal
+  // the global unit order at equal times.
+  const uint64_t num_shards = config_.num_shards;
+  const uint64_t base = cc.num_units / num_shards;
+  const uint64_t rem = cc.num_units % num_shards;
+  shard_offset_.assign(num_shards + 1, 0);
+  for (uint64_t s = 0; s < num_shards; ++s) {
+    shard_offset_[s + 1] = shard_offset_[s] + base + (s < rem ? 1 : 0);
+  }
+
+  const StatefulMode mode = cc.strategy == StrategyKind::kIdeal
+                                ? StatefulMode::kIdeal
+                                : StatefulMode::kStateful;
+  const bool sig_strategy = family_ != nullptr;
+  shards_.reserve(num_shards);
+  for (uint64_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>(db_.get());
+    const uint64_t count = shard_offset_[s + 1] - shard_offset_[s];
+    shard->soa.Resize(count);
+    shard->units.reserve(count);
+    shard->sim.Reserve(2 * count + 1024);
+    if (sig_strategy) {
+      shard->family = MakeSignatureFamilyForCell(cc, family_seed);
+    }
+    if (stateful_mode_) {
+      shard->registry = std::make_unique<StatefulRegistry>(
+          mode, /*channel=*/nullptr, sizes_);
+      Shard* raw = shard.get();
+      shard->registry->SetTransmitSink(
+          [raw](uint64_t bits, TrafficClass cls) {
+            raw->LogTransmit(bits, cls);
+          });
+    }
+    shards_.push_back(std::move(shard));
+  }
+
+  Rng hotspot_rng(hotspot_seed);
+  const std::vector<ItemId> shared =
+      ContiguousHotSpot(m.n, 0, cc.hotspot_size);
+  uint64_t s = 0;
+  for (uint64_t i = 0; i < cc.num_units; ++i) {
+    while (i >= shard_offset_[s + 1]) ++s;
+    Shard& sh = *shards_[s];
+    const uint32_t local = static_cast<uint32_t>(i - shard_offset_[s]);
+
+    const std::vector<ItemId> hotspot =
+        !cc.custom_hotspots.empty()
+            ? cc.custom_hotspots[i]
+            : (cc.shared_hotspot
+                   ? shared
+                   : RandomHotSpot(m.n, cc.hotspot_size, hotspot_rng));
+
+    MobileUnitConfig mc;
+    mc.latency = m.L;
+    mc.lambda_per_item = m.lambda;
+    mc.hotspot = hotspot;
+    mc.answer_immediately = stateful_mode_ || async_mode_;
+    mc.cache_capacity = cc.cache_capacity;
+    mc.unit_id = static_cast<uint32_t>(i);
+    mc.query_zipf_theta = cc.query_zipf_theta;
+
+    std::unique_ptr<SleepModel> sleep;
+    const uint64_t mu_seed = SplitMix64(&seed_state);
+    if (cc.renewal_sleep) {
+      sleep = std::make_unique<RenewalSleepModel>(
+          m.L, cc.mean_awake_seconds, cc.mean_sleep_seconds,
+          mu_seed ^ 0x9e3779b9);
+    } else {
+      sleep = std::make_unique<BernoulliSleepModel>(m.s,
+                                                    mu_seed ^ 0x9e3779b9);
+    }
+
+    StrategyFactoryContext shard_ctx;
+    shard_ctx.config = &config_.cell;
+    shard_ctx.sizes = sizes_;
+    shard_ctx.db = db_.get();
+    shard_ctx.family = sig_strategy ? sh.family.get() : nullptr;
+    shard_ctx.walk = walk_.get();
+
+    auto unit = std::make_unique<MobileUnit>(
+        &sh.sim, std::move(mc), MakeClientManager(shard_ctx, hotspot),
+        std::move(sleep), &sh.uplink, mu_seed);
+    if (stateful_mode_) {
+      unit->BindStatefulRegistry(sh.registry.get(),
+                                 cc.strategy == StrategyKind::kStateful);
+    }
+    if (async_mode_) unit->SetDropCacheOnWake(true);
+    unit->BindHotState(&sh.soa, local);
+    sh.units.push_back(std::move(unit));
+  }
+
+  gang_ = std::make_unique<LockstepGang>(
+      static_cast<unsigned>(config_.num_shards));
+  built_ = true;
+  return Status::OK();
+}
+
+void MegaCell::ReplayWindow() {
+  // K-way merge of the per-shard logs (each already time-sorted) plus, in
+  // asynchronous mode, the update trace (each update is one id-sized
+  // broadcast message). Ties break toward the trace, then lower shard — at
+  // equal times the contiguous partition makes that exactly the global unit
+  // order, which is the order the single-threaded Cell would have produced.
+  const size_t num_shards = shards_.size();
+  std::vector<size_t> head(num_shards, 0);
+  size_t trace_head = async_mode_ ? 0 : update_trace_.size();
+  for (;;) {
+    int source = -2;  // -1 = trace, >= 0 = shard, -2 = exhausted
+    SimTime best = 0.0;
+    if (trace_head < update_trace_.size()) {
+      source = -1;
+      best = update_trace_[trace_head].time;
+    }
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (head[s] >= shards_[s]->log.size()) continue;
+      const SimTime t = shards_[s]->log[head[s]].time;
+      if (source == -2 || t < best) {
+        source = static_cast<int>(s);
+        best = t;
+      }
+    }
+    if (source == -2) break;
+    if (source == -1) {
+      channel_->Transmit(sizes_.id_bits, TrafficClass::kReport);
+      ++async_messages_;
+      ++trace_head;
+      continue;
+    }
+    Shard& sh = *shards_[static_cast<size_t>(source)];
+    const Shard::LogRecord& rec = sh.log[head[static_cast<size_t>(source)]++];
+    if (rec.kind == Shard::LogRecord::kUplink) {
+      server_->AccountUplinkQuery(rec.info);
+    } else {
+      channel_->Transmit(rec.bits, rec.cls);
+    }
+  }
+  for (auto& shard : shards_) shard->log.clear();
+  update_trace_.clear();
+  pending_deliveries_.clear();
+}
+
+void MegaCell::AdvanceWindow(SimTime cut, bool inclusive) {
+  // Server phase: broadcast ticks, update stream, delivery completions.
+  // Exclusive cuts leave the boundary's own events (the next tick wave) to
+  // the following window, so replayed uplinks with time < T_i reach the
+  // strategy before the T_i report is built.
+  WallClock::time_point t0 = WallClock::now();
+  if (inclusive) {
+    sim_->RunUntil(cut);
+  } else {
+    sim_->RunUntilBefore(cut);
+  }
+  server_wall_seconds_ += SecondsSince(t0);
+
+  // Shard phase: one lane per shard, pinned (lane == shard index). The
+  // delivery sink only fires inside server events, so every pending
+  // delivery's completion time lies in this window — each shard replays all
+  // of them plus the update trace, then advances to the same cut.
+  gang_->Run([this, cut, inclusive](unsigned lane) {
+    Shard& sh = *shards_[lane];
+    const WallClock::time_point s0 = WallClock::now();
+    for (const Server::ReportDelivery& d : pending_deliveries_) {
+      Shard* raw = &sh;
+      sh.sim.ScheduleAt(d.done, [raw, d] {
+        raw->FanOut(*d.report, d.listen_seconds);
+      });
+    }
+    if (trace_updates_) {
+      for (const TraceRecord& u : update_trace_) {
+        Shard* raw = &sh;
+        if (stateful_mode_) {
+          sh.sim.ScheduleAt(u.time, [raw, u] {
+            raw->registry->OnUpdate(u.id, u.time);
+          });
+        } else {
+          sh.sim.ScheduleAt(u.time, [raw, id = u.id] {
+            raw->PushInvalidateAwake(id);
+          });
+        }
+      }
+    }
+    if (inclusive) {
+      sh.sim.RunUntil(cut);
+    } else {
+      sh.sim.RunUntilBefore(cut);
+    }
+    sh.wall_seconds += SecondsSince(s0);
+  });
+
+  // Barrier: replay the merged shard logs onto the server and channel.
+  t0 = WallClock::now();
+  ReplayWindow();
+  server_wall_seconds_ += SecondsSince(t0);
+}
+
+void MegaCell::ResetAllStats() {
+  server_->ResetStats();
+  channel_->ResetStats();
+  async_messages_ = 0;
+  for (auto& shard : shards_) {
+    if (shard->registry != nullptr) shard->registry->ResetStats();
+    shard->async_deliveries = 0;
+    for (auto& unit : shard->units) unit->ResetStats();
+    shard->soa.ResetStats();
+  }
+}
+
+Status MegaCell::Run(uint64_t warmup_intervals, uint64_t measure_intervals) {
+  if (!built_) return Status::FailedPrecondition("Build() first");
+  if (ran_) return Status::FailedPrecondition("megacell already ran");
+  if (measure_intervals == 0) {
+    return Status::InvalidArgument("need at least one measured interval");
+  }
+
+  MOBICACHE_RETURN_IF_ERROR(updates_->Start());
+  // Units start before the server (matching Cell::Run): each unit's sleep
+  // decision for an interval precedes that interval's report delivery.
+  for (auto& shard : shards_) {
+    for (auto& unit : shard->units) {
+      MOBICACHE_RETURN_IF_ERROR(unit->Start());
+    }
+  }
+  MOBICACHE_RETURN_IF_ERROR(server_->Start());
+
+  const double L = config_.cell.model.L;
+  const SimTime warmup_end =
+      static_cast<double>(warmup_intervals) * L + 0.5 * L;
+  const SimTime end =
+      warmup_end + static_cast<double>(measure_intervals) * L;
+
+  for (uint64_t w = 1; w <= warmup_intervals; ++w) {
+    AdvanceWindow(static_cast<double>(w) * L, /*inclusive=*/false);
+  }
+  AdvanceWindow(warmup_end, /*inclusive=*/true);
+  ResetAllStats();
+  for (uint64_t w = warmup_intervals + 1;
+       w <= warmup_intervals + measure_intervals; ++w) {
+    AdvanceWindow(static_cast<double>(w) * L, /*inclusive=*/false);
+  }
+  AdvanceWindow(end, /*inclusive=*/true);
+
+  server_->Stop();
+  updates_->Stop();
+  measure_intervals_ = measure_intervals;
+  ran_ = true;
+
+  shard_stats_.clear();
+  shard_stats_.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    MegaCellShardStats st;
+    st.num_units = shard_offset_[s + 1] - shard_offset_[s];
+    st.sim_events = shards_[s]->sim.DispatchedEvents();
+    st.wall_seconds = shards_[s]->wall_seconds;
+    shard_stats_.push_back(st);
+  }
+  return Status::OK();
+}
+
+MobileUnitStats MegaCell::UnitStats(uint64_t global_index) const {
+  assert(global_index < config_.cell.num_units);
+  size_t s = 0;
+  while (global_index >= shard_offset_[s + 1]) ++s;
+  const Shard& sh = *shards_[s];
+  const size_t local = global_index - shard_offset_[s];
+  // Fold the SoA-owned broadcast counters into the unit's own stats. The
+  // unit's copies of those fields are identically zero for bound units, so
+  // the fold is exact (0 + x) and the listen_seconds accumulation order is
+  // the unit's own delivery order, same as in Cell.
+  MobileUnitStats st = sh.units[local]->stats();
+  st.reports_heard += sh.soa.reports_heard[local];
+  st.reports_missed += sh.soa.reports_missed[local];
+  st.listen_seconds += sh.soa.listen_seconds[local];
+  return st;
+}
+
+CellResult MegaCell::result() const {
+  CellResult r;
+  uint64_t latency_samples = 0;
+  double latency_sum = 0.0;
+  // Global unit order (shard-major over the contiguous partition), so the
+  // floating-point accumulation order matches Cell::result() exactly.
+  for (uint64_t i = 0; i < config_.cell.num_units; ++i) {
+    const MobileUnitStats st = UnitStats(i);
+    r.queries_answered += st.queries_answered;
+    r.hits += st.hits;
+    r.misses += st.misses;
+    r.reports_heard += st.reports_heard;
+    r.reports_missed += st.reports_missed;
+    r.items_invalidated += st.items_invalidated;
+    r.listen_seconds_total += st.listen_seconds;
+    latency_samples += st.answer_latency.count();
+    latency_sum += st.answer_latency.sum();
+  }
+  r.hit_ratio = r.queries_answered == 0
+                    ? 0.0
+                    : static_cast<double>(r.hits) /
+                          static_cast<double>(r.queries_answered);
+  r.mean_answer_latency =
+      latency_samples == 0
+          ? 0.0
+          : latency_sum / static_cast<double>(latency_samples);
+  r.reports_broadcast = server_->stats().reports_broadcast;
+  r.avg_report_bits = server_->stats().report_bits.mean();
+  if (async_mode_ && measure_intervals_ > 0) {
+    // Asynchronous mode has no periodic report; its per-interval broadcast
+    // cost is the invalidation-message traffic averaged over the run.
+    r.avg_report_bits = static_cast<double>(channel_->stats().report_bits) /
+                        static_cast<double>(measure_intervals_);
+  }
+  const uint64_t decisions = r.reports_heard + r.reports_missed;
+  r.measured_sleep_fraction =
+      decisions == 0 ? 0.0
+                     : static_cast<double>(r.reports_missed) /
+                           static_cast<double>(decisions);
+  r.sim_events = sim_->DispatchedEvents();
+  for (const auto& shard : shards_) {
+    r.sim_events += shard->sim.DispatchedEvents();
+  }
+  r.channel = channel_->stats();
+
+  const StrategyEval eval = EvalFromMeasurements(
+      config_.cell.model, r.hit_ratio, r.avg_report_bits);
+  r.throughput = eval.throughput;
+  r.effectiveness = eval.effectiveness;
+  r.feasible = eval.feasible;
+  return r;
+}
+
+uint64_t MegaCell::registry_control_messages() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    if (shard->registry != nullptr) total += shard->registry->control_messages();
+  }
+  return total;
+}
+
+uint64_t MegaCell::registry_invalidations_sent() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    if (shard->registry != nullptr) {
+      total += shard->registry->invalidations_sent();
+    }
+  }
+  return total;
+}
+
+uint64_t MegaCell::registry_invalidations_missed_asleep() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    if (shard->registry != nullptr) {
+      total += shard->registry->invalidations_missed_asleep();
+    }
+  }
+  return total;
+}
+
+uint64_t MegaCell::async_deliveries() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->async_deliveries;
+  return total;
+}
+
+}  // namespace mobicache

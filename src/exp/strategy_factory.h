@@ -1,0 +1,56 @@
+// Shared construction logic for cell experiments: config validation and the
+// strategy-kind -> component switches, factored out of Cell so the sharded
+// cell engine (megacell.*) builds byte-identical components per shard — each
+// shard needs its own ClientCacheManager per unit and, for the signature
+// strategies, its own SignatureFamily replica (the family's subset-expansion
+// memo is not thread-safe; deterministically re-deriving it from the same
+// seed is cheaper than locking it).
+
+#ifndef MOBICACHE_EXP_STRATEGY_FACTORY_H_
+#define MOBICACHE_EXP_STRATEGY_FACTORY_H_
+
+#include <memory>
+#include <vector>
+
+#include "exp/cell.h"
+
+namespace mobicache {
+
+/// Validates `config` and normalizes the derived fields (fills an empty
+/// hybrid_hot_set from the shared hot spot). Performs exactly the checks
+/// Cell::Build historically did, in the same order, so error text is stable.
+Status NormalizeCellConfig(CellConfig* config);
+
+/// The message-size vocabulary implied by the model parameters.
+MessageSizes ComputeMessageSizes(const ModelParams& m);
+
+/// Builds the SignatureFamily for a SIG/hybrid-SIG cell (null for other
+/// strategies). Deterministic in (config, family_seed): calling it twice
+/// yields independent but identical replicas.
+std::unique_ptr<SignatureFamily> MakeSignatureFamilyForCell(
+    const CellConfig& config, uint64_t family_seed);
+
+/// Builds the numeric random walk for the arithmetic quasi-copy condition
+/// (null otherwise). Seeded from the database seed like Cell always did.
+std::unique_ptr<NumericWalk> MakeNumericWalkForCell(const CellConfig& config,
+                                                    uint64_t db_seed);
+
+/// Everything the per-kind component switches need. `family` / `walk` may be
+/// null when the strategy does not use them.
+struct StrategyFactoryContext {
+  const CellConfig* config = nullptr;
+  MessageSizes sizes;
+  Database* db = nullptr;
+  SignatureFamily* family = nullptr;
+  NumericWalk* walk = nullptr;
+};
+
+std::unique_ptr<ServerStrategy> MakeServerStrategy(
+    const StrategyFactoryContext& ctx);
+
+std::unique_ptr<ClientCacheManager> MakeClientManager(
+    const StrategyFactoryContext& ctx, const std::vector<ItemId>& hotspot);
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_EXP_STRATEGY_FACTORY_H_

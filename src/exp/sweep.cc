@@ -1,9 +1,11 @@
 #include "exp/sweep.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <utility>
 
+#include "exp/megacell.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -60,19 +62,33 @@ struct SweepJob {
   CellConfig config;
 };
 
-// Builds, runs, and harvests one cell. `slot`/`status` belong exclusively
-// to this job.
+// Builds, runs, and harvests one cell. `slot`/`status`/`timing` belong
+// exclusively to this job. shards > 1 runs the cell as a MegaCell, which
+// produces byte-identical results (see exp/megacell.h).
 void RunSweepJob(const SweepJob& job, uint64_t warmup_intervals,
-                 uint64_t measure_intervals,
-                 std::optional<CellResult>* slot, Status* status) {
-  Cell cell(job.config);
-  Status s = cell.Build();
-  if (s.ok()) s = cell.Run(warmup_intervals, measure_intervals);
-  if (!s.ok()) {
-    *status = std::move(s);
-    return;
+                 uint64_t measure_intervals, int shards,
+                 std::optional<CellResult>* slot,
+                 SweepResult::CellTiming* timing, Status* status) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Status s;
+  if (shards > 1) {
+    MegaCellConfig mc;
+    mc.cell = job.config;
+    mc.num_shards = static_cast<uint32_t>(shards);
+    MegaCell cell(std::move(mc));
+    s = cell.Build();
+    if (s.ok()) s = cell.Run(warmup_intervals, measure_intervals);
+    if (s.ok()) slot->emplace(cell.result());
+  } else {
+    Cell cell(job.config);
+    s = cell.Build();
+    if (s.ok()) s = cell.Run(warmup_intervals, measure_intervals);
+    if (s.ok()) slot->emplace(cell.result());
   }
-  slot->emplace(cell.result());
+  timing->wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!s.ok()) *status = std::move(s);
 }
 
 }  // namespace
@@ -85,6 +101,9 @@ StatusOr<SweepResult> RunScenarioSweepWithIdBits(
   }
   if (options.threads < 0) {
     return Status::InvalidArgument("threads must be >= 0");
+  }
+  if (options.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
   }
   SweepResult result;
   result.scenario = scenario;
@@ -134,6 +153,10 @@ StatusOr<SweepResult> RunScenarioSweepWithIdBits(
       job.config.hotspot_size = options.hotspot_size;
       job.config.seed = options.seed + 1000003ULL * i +
                         7919ULL * static_cast<uint64_t>(kind);
+      SweepResult::CellTiming timing;
+      timing.kind = kind;
+      timing.x = result.xs[i];
+      result.cell_timings.push_back(timing);
       jobs.push_back(std::move(job));
     }
     result.series.push_back(std::move(series));
@@ -141,17 +164,22 @@ StatusOr<SweepResult> RunScenarioSweepWithIdBits(
 
   // Pass 2: run the cells, fanned across the pool when it pays. Statuses are
   // collected per job and examined in grid order, so error reporting is as
-  // deterministic as the results themselves.
+  // deterministic as the results themselves. When each cell is itself
+  // sharded across a LockstepGang, the cross-cell pool is narrowed so the
+  // total thread count stays at `threads`.
   std::vector<Status> statuses(jobs.size());
-  const unsigned threads =
-      options.threads == 0 ? ThreadPool::DefaultThreadCount()
-                           : static_cast<unsigned>(options.threads);
+  unsigned threads = options.threads == 0 ? ThreadPool::DefaultThreadCount()
+                                          : static_cast<unsigned>(options.threads);
+  if (options.shards > 1) {
+    threads = std::max(1u, threads / static_cast<unsigned>(options.shards));
+  }
   if (threads <= 1 || jobs.size() <= 1) {
     for (size_t j = 0; j < jobs.size(); ++j) {
       const SweepJob& job = jobs[j];
       RunSweepJob(job, options.warmup_intervals, options.measure_intervals,
+                  options.shards,
                   &result.series[job.series_index].measured[job.point_index],
-                  &statuses[j]);
+                  &result.cell_timings[j], &statuses[j]);
       if (!statuses[j].ok()) return statuses[j];
     }
   } else {
@@ -160,10 +188,11 @@ StatusOr<SweepResult> RunScenarioSweepWithIdBits(
       const SweepJob& job = jobs[j];
       std::optional<CellResult>* slot =
           &result.series[job.series_index].measured[job.point_index];
+      SweepResult::CellTiming* timing = &result.cell_timings[j];
       Status* status = &statuses[j];
-      pool.Submit([&job, &options, slot, status] {
+      pool.Submit([&job, &options, slot, timing, status] {
         RunSweepJob(job, options.warmup_intervals, options.measure_intervals,
-                    slot, status);
+                    options.shards, slot, timing, status);
       });
     }
     pool.WaitAll();

@@ -32,6 +32,13 @@ struct SweepOptions {
   /// position and writes its own result slot, so thread count affects only
   /// wall-clock time.
   int threads = 0;
+  /// Intra-cell shards per simulated cell (see exp/megacell.h). 1 = the
+  /// classic single-threaded Cell; > 1 runs each cell as a MegaCell with
+  /// that many shard threads. Byte-identical results at any setting. When
+  /// shards > 1 the cross-cell pool is narrowed to threads / shards workers
+  /// so sweep jobs and intra-cell shards share the machine without
+  /// oversubscription.
+  int shards = 1;
   /// Strategies to evaluate analytically but never simulate (used where a
   /// full-scale simulation is impractical or the protocol cannot operate,
   /// e.g. SIG under Scenario 4's 10^5 updates/s).
@@ -53,6 +60,15 @@ struct SweepResult {
   /// actually simulated and how many discrete events they dispatched.
   uint64_t simulated_cells = 0;
   uint64_t sim_events = 0;
+  /// Wall time of each simulated cell, in deterministic grid order
+  /// (strategy-major, then sweep point) regardless of thread interleaving.
+  /// Feeds the bench JSON's per-cell breakdown.
+  struct CellTiming {
+    StrategyKind kind;
+    double x = 0.0;  ///< The sweep-axis value of the cell's point.
+    double wall_seconds = 0.0;
+  };
+  std::vector<CellTiming> cell_timings;
 };
 
 /// Runs the sweep. Strategies without an analytic formula (adaptive, quasi,

@@ -48,6 +48,14 @@ void MobileUnit::BindStatefulRegistry(StatefulRegistry* registry,
 
 void MobileUnit::ServerInvalidate(ItemId id) { cache_.Erase(id); }
 
+void MobileUnit::BindHotState(MuHotSoA* soa, uint32_t index) {
+  assert(soa != nullptr && index < soa->size());
+  hot_ = soa;
+  hot_index_ = index;
+  soa->awake[index] = awake_ ? 1 : 0;
+  soa->immediate[index] = config_.answer_immediately ? 1 : 0;
+}
+
 void MobileUnit::OnIntervalTick(uint64_t interval) {
   const bool awake_now = sleep_->AwakeForInterval(interval);
 
@@ -61,6 +69,7 @@ void MobileUnit::OnIntervalTick(uint64_t interval) {
   }
   awake_ = awake_now;
   ever_decided_ = true;
+  if (hot_ != nullptr) hot_->awake[hot_index_] = awake_now ? 1 : 0;
 
   // Seal the previous interval's arrivals: they may be answered by the
   // report of this interval (index `interval`) or any later one; anything
@@ -87,6 +96,10 @@ void MobileUnit::OnBroadcast(const Report& report, double listen_seconds) {
 
   if (config_.answer_immediately) return;  // stateful modes ignore reports
 
+  OnReportDelivery(report);
+}
+
+void MobileUnit::OnReportDelivery(const Report& report) {
   stats_.items_invalidated += manager_->OnReport(report, &cache_);
   // Answer every sealed group this report's snapshot covers, merging
   // same-item batches across groups (they share one answer and at most one
@@ -100,7 +113,7 @@ void MobileUnit::OnBroadcast(const Report& report, double listen_seconds) {
       auto [it, inserted] = eligible.emplace(id, first);
       if (!inserted && first < it->second) it->second = first;
     }
-    pending_groups_.pop_front();
+    pending_groups_.erase(pending_groups_.begin());
   }
   for (const auto& [id, first_issued] : eligible) {
     AnswerBatch(id, first_issued, validity_ts);
@@ -110,7 +123,15 @@ void MobileUnit::OnBroadcast(const Report& report, double listen_seconds) {
 void MobileUnit::ScheduleNextArrival(SimTime interval_end) {
   if (total_query_rate_ <= 0.0) return;
   const SimTime next = sim_->Now() + rng_.Exponential(total_query_rate_);
-  if (next >= interval_end) return;  // no more arrivals this interval
+  if (next >= interval_end) {
+    // No more arrivals this interval.
+    if (hot_ != nullptr) {
+      hot_->next_arrival[hot_index_] =
+          std::numeric_limits<double>::infinity();
+    }
+    return;
+  }
+  if (hot_ != nullptr) hot_->next_arrival[hot_index_] = next;
   sim_->ScheduleAt(next,
                    [this, interval_end] { OnQueryArrival(interval_end); });
 }

@@ -23,7 +23,6 @@
 #define MOBICACHE_MU_MOBILE_UNIT_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -33,6 +32,7 @@
 #include "core/report.h"
 #include "core/stateful.h"
 #include "core/strategy.h"
+#include "mu/hot_state.h"
 #include "mu/sleep_model.h"
 #include "mu/uplink_service.h"
 #include "sim/simulator.h"
@@ -100,6 +100,20 @@ class MobileUnit {
   /// if awake.
   void OnBroadcast(const Report& report, double listen_seconds);
 
+  /// The report-consumption half of OnBroadcast, minus the awake check and
+  /// the heard/missed/listen accounting: applies the report to the cache and
+  /// answers every sealed query group it covers. The sharded cell engine
+  /// calls this directly for awake non-immediate units after settling the
+  /// accounting in the shard's SoA lanes.
+  void OnReportDelivery(const Report& report);
+
+  /// Mirrors this unit's hot fields into `soa` slot `index` (see
+  /// hot_state.h). The unit keeps `awake`/`next_arrival` current from its
+  /// tick and arrival handlers; the broadcast counters become SoA-owned, so
+  /// the caller must stop routing OnBroadcast through this unit and drive
+  /// the SoA loop + OnReportDelivery itself.
+  void BindHotState(MuHotSoA* soa, uint32_t index);
+
   /// Wires this unit to a stateful-server registry. `drop_cache_on_wake`
   /// should be true in kStateful mode (reconnection loses the cache).
   void BindStatefulRegistry(StatefulRegistry* registry,
@@ -163,7 +177,11 @@ class MobileUnit {
     std::map<ItemId, SimTime> batches;  ///< item -> first arrival time.
   };
   std::map<ItemId, SimTime> arriving_;
-  std::deque<SealedGroup> pending_groups_;
+  /// FIFO of sealed groups, popped from the front. A vector (erase(begin()))
+  /// rather than a deque: groups in flight are at most one or two, and
+  /// libstdc++'s deque pre-allocates a ~512-byte map per instance — real
+  /// memory at 10^6 units.
+  std::vector<SealedGroup> pending_groups_;
   std::unique_ptr<PeriodicProcess> ticker_;
   MobileUnitStats stats_;
   AnswerObserver answer_observer_;
@@ -174,6 +192,9 @@ class MobileUnit {
   StatefulRegistry* registry_ = nullptr;
   StatefulRegistry::ClientId registry_id_ = 0;
   bool drop_cache_on_wake_ = false;
+
+  MuHotSoA* hot_ = nullptr;  ///< Shard-owned SoA mirror; null when unbound.
+  uint32_t hot_index_ = 0;
 };
 
 }  // namespace mobicache

@@ -81,19 +81,27 @@ void Server::Deliver(std::shared_ptr<const Report> report, uint64_t bits,
       delivery_ == nullptr ? duration
                            : delivery_->ListenSeconds(jitter, duration);
   // Units consume the report when its transmission completes.
-  sim_->ScheduleAt(done, [this, report = std::move(report), listen] {
+  sim_->ScheduleAt(done, [this, report = std::move(report), listen, done] {
     if (report_observer_) report_observer_(*report);
+    if (delivery_sink_) {
+      delivery_sink_(ReportDelivery{report, listen, done});
+      return;
+    }
     for (MobileUnit* unit : units_) unit->OnBroadcast(*report, listen);
   });
 }
 
-UplinkService::FetchResult Server::FetchItem(const UplinkQueryInfo& info) {
+void Server::AccountUplinkQuery(const UplinkQueryInfo& info) {
   assert(info.id < db_->size());
   strategy_->OnUplinkQuery(info);
   const uint64_t extra = strategy_->UplinkExtraBits(info);
   channel_->Transmit(config_.sizes.bq + extra, TrafficClass::kUplinkQuery);
   channel_->Transmit(config_.sizes.ba, TrafficClass::kDownlinkAnswer);
   ++stats_.uplink_queries_served;
+}
+
+UplinkService::FetchResult Server::FetchItem(const UplinkQueryInfo& info) {
+  AccountUplinkQuery(info);
   return FetchResult{db_->Get(info.id).value, sim_->Now()};
 }
 

@@ -60,10 +60,35 @@ class Server : public UplinkService {
 
   FetchResult FetchItem(const UplinkQueryInfo& info) override;
 
+  /// Performs the server-side bookkeeping of one uplink query — strategy
+  /// notification, uplink/answer channel charges, stats — without reading
+  /// the item value. FetchItem() is AccountUplinkQuery() plus the database
+  /// read; the sharded cell engine replays shard-logged queries through this
+  /// at the interval barrier (values were already served shard-side).
+  void AccountUplinkQuery(const UplinkQueryInfo& info);
+
+  /// One completed report transmission, as observed at the instant units
+  /// would consume it.
+  struct ReportDelivery {
+    std::shared_ptr<const Report> report;
+    double listen_seconds = 0.0;  ///< Tuning cost for a unit that listens.
+    SimTime done = 0.0;           ///< Transmission-complete time.
+  };
+
   /// Invoked for every report when its transmission completes, before any
   /// unit processes it. Tests use this to snapshot ground truth at T_i.
   void SetReportObserver(std::function<void(const Report&)> observer) {
     report_observer_ = std::move(observer);
+  }
+
+  /// Installs a delivery sink. When set, completed report transmissions are
+  /// handed to the sink *instead of* being fanned out to attached units —
+  /// the sharded cell engine uses this to collect each interval's delivery
+  /// and replay it inside every shard's own simulator. The sink runs inside
+  /// the delivery-completion event (after the report observer), at
+  /// Now() == delivery.done.
+  void SetDeliverySink(std::function<void(ReportDelivery)> sink) {
+    delivery_sink_ = std::move(sink);
   }
 
   /// Zeroes the accumulated statistics (used after warm-up).
@@ -88,6 +113,7 @@ class Server : public UplinkService {
   std::unique_ptr<PeriodicProcess> broadcaster_;
   ServerStats stats_;
   std::function<void(const Report&)> report_observer_;
+  std::function<void(ReportDelivery)> delivery_sink_;
 };
 
 }  // namespace mobicache

@@ -134,6 +134,26 @@ uint64_t Simulator::RunUntil(SimTime end) {
   return n;
 }
 
+uint64_t Simulator::RunUntilBefore(SimTime end) {
+  assert(end >= now_);
+  stopped_ = false;
+  uint64_t n = 0;
+  while (!stopped_ && SkipCancelledTop()) {
+    if (heap_.front().when >= end) break;
+    std::function<void()> fn = TakeRootForDispatch();
+    ++n;
+    fn();
+  }
+  if (now_ < end) now_ = end;
+  return n;
+}
+
+void Simulator::Reserve(size_t pending_events) {
+  heap_.reserve(pending_events);
+  slots_.reserve(pending_events);
+  free_slots_.reserve(pending_events);
+}
+
 bool Simulator::Step() {
   stopped_ = false;
   if (!SkipCancelledTop()) return false;

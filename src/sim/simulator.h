@@ -68,6 +68,19 @@ class Simulator {
   /// beyond the last event). Returns the number of events dispatched.
   uint64_t RunUntil(SimTime end);
 
+  /// Runs events with time strictly < `end`, then sets the clock to `end`.
+  /// Events scheduled at exactly `end` stay queued and fire on the next
+  /// run call — the lockstep sharded engine uses this to advance every
+  /// shard to an interval boundary while leaving the boundary's own events
+  /// (the next tick wave) to the following window.
+  uint64_t RunUntilBefore(SimTime end);
+
+  /// Pre-sizes the heap, slot slab, and free list for `pending_events`
+  /// simultaneously queued events, so populations that schedule one ticker
+  /// plus one arrival per unit (10^6 pending events per shard) never
+  /// reallocate mid-run.
+  void Reserve(size_t pending_events);
+
   /// Dispatches exactly one event if any is pending. Returns true if an
   /// event ran.
   bool Step();

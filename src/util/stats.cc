@@ -6,11 +6,26 @@
 
 namespace mobicache {
 
+namespace {
+/// Neumaier running-sum step: adds `term` into the (sum, comp) pair, keeping
+/// in `comp` the low-order bits a plain `sum += term` would shed. Works for
+/// either magnitude ordering, unlike classic Kahan.
+inline void CompensatedAdd(double& sum, double& comp, double term) {
+  const double t = sum + term;
+  if (std::abs(sum) >= std::abs(term)) {
+    comp += (sum - t) + term;
+  } else {
+    comp += (term - t) + sum;
+  }
+  sum = t;
+}
+}  // namespace
+
 void OnlineStats::Add(double x) {
   ++count_;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(count_);
-  m2_ += delta * (x - mean_);
+  const double delta = x - (mean_ + mean_comp_);
+  CompensatedAdd(mean_, mean_comp_, delta / static_cast<double>(count_));
+  CompensatedAdd(m2_, m2_comp_, delta * (x - (mean_ + mean_comp_)));
   min_ = std::min(min_, x);
   max_ = std::max(max_, x);
 }
@@ -21,13 +36,17 @@ void OnlineStats::Merge(const OnlineStats& other) {
     *this = other;
     return;
   }
-  const double delta = other.mean_ - mean_;
+  const double delta = (other.mean_ + other.mean_comp_) -
+                       (mean_ + mean_comp_);
   const uint64_t total = count_ + other.count_;
-  mean_ += delta * static_cast<double>(other.count_) /
-           static_cast<double>(total);
-  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+  CompensatedAdd(mean_, mean_comp_,
+                 delta * static_cast<double>(other.count_) /
+                     static_cast<double>(total));
+  CompensatedAdd(m2_, m2_comp_,
+                 (other.m2_ + other.m2_comp_) +
+                     delta * delta * static_cast<double>(count_) *
                          static_cast<double>(other.count_) /
-                         static_cast<double>(total);
+                         static_cast<double>(total));
   count_ = total;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
@@ -35,7 +54,8 @@ void OnlineStats::Merge(const OnlineStats& other) {
 
 double OnlineStats::variance() const {
   if (count_ < 2) return 0.0;
-  return m2_ / static_cast<double>(count_ - 1);
+  // Compensation can leave M2 an ulp below zero for near-constant streams.
+  return std::max(0.0, m2_ + m2_comp_) / static_cast<double>(count_ - 1);
 }
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }

@@ -11,7 +11,12 @@
 
 namespace mobicache {
 
-/// Streaming mean / variance / min / max accumulator (Welford's algorithm).
+/// Streaming mean / variance / min / max accumulator (Welford's algorithm
+/// with Neumaier-compensated accumulation). The running mean and M2 are each
+/// kept as a (value, compensation) pair so the low-order bits that a plain
+/// `+=` sheds per sample are retained; at 10^8+ samples the plain recurrence
+/// drifts by the accumulated rounding of that many tiny increments, while
+/// the compensated form stays within a few ulps of a long-double reference.
 class OnlineStats {
  public:
   void Add(double x);
@@ -20,13 +25,15 @@ class OnlineStats {
   void Merge(const OnlineStats& other);
 
   uint64_t count() const { return count_; }
-  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_ + mean_comp_; }
   /// Unbiased sample variance; 0 for fewer than two samples.
   double variance() const;
   double stddev() const;
   double min() const { return count_ == 0 ? 0.0 : min_; }
   double max() const { return count_ == 0 ? 0.0 : max_; }
-  double sum() const { return mean_ * static_cast<double>(count_); }
+  double sum() const {
+    return (mean_ + mean_comp_) * static_cast<double>(count_);
+  }
 
   /// Half-width of the normal-approximation confidence interval for the mean
   /// at the given z (default z = 1.96 for ~95%).
@@ -35,7 +42,9 @@ class OnlineStats {
  private:
   uint64_t count_ = 0;
   double mean_ = 0.0;
+  double mean_comp_ = 0.0;  ///< Neumaier compensation for mean_.
   double m2_ = 0.0;
+  double m2_comp_ = 0.0;    ///< Neumaier compensation for m2_.
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };

@@ -70,4 +70,68 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+LockstepGang::LockstepGang(unsigned size) : size_(std::max(1u, size)) {
+  workers_.reserve(size_ - 1);
+  for (unsigned lane = 1; lane < size_; ++lane) {
+    workers_.emplace_back([this, lane] { WorkerLoop(lane); });
+  }
+}
+
+LockstepGang::~LockstepGang() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  round_start_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void LockstepGang::RunLane(unsigned lane) {
+  try {
+    (*fn_)(lane);
+  } catch (...) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void LockstepGang::Run(const std::function<void(unsigned)>& fn) {
+  if (size_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    fn_ = &fn;
+    remaining_ = size_ - 1;
+    ++generation_;
+  }
+  round_start_.notify_all();
+  RunLane(0);  // lane 0 runs on the caller's thread
+  std::unique_lock<std::mutex> lock(mu_);
+  round_done_.wait(lock, [this] { return remaining_ == 0; });
+  fn_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void LockstepGang::WorkerLoop(unsigned lane) {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    round_start_.wait(lock, [&] {
+      return shutdown_ || generation_ != seen_generation;
+    });
+    if (shutdown_) return;
+    seen_generation = generation_;
+    lock.unlock();
+    RunLane(lane);
+    lock.lock();
+    if (--remaining_ == 0) round_done_.notify_one();
+  }
+}
+
 }  // namespace mobicache

@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -60,6 +61,50 @@ class ThreadPool {
   std::condition_variable batch_done_;
   std::deque<std::function<void()>> queue_;
   size_t in_flight_ = 0;  ///< Tasks popped but not yet finished.
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Persistent worker gang for lockstep fork-join phases. A gang of size N
+/// owns N-1 threads; Run(fn) invokes fn(0) .. fn(N-1) concurrently — index 0
+/// on the calling thread, the rest on the workers — and returns once every
+/// invocation has finished. Unlike ThreadPool there is no queue: the same N
+/// lanes re-run each round, which is what the sharded cell engine needs
+/// (shard i always advances on lane i, so per-shard state never migrates
+/// between threads and thread-local warmth survives across barriers).
+/// A gang of size 1 spawns no threads and Run() is a plain call.
+class LockstepGang {
+ public:
+  /// `size` is the number of lanes (clamped to >= 1); `size - 1` threads are
+  /// spawned immediately and live until destruction.
+  explicit LockstepGang(unsigned size);
+  ~LockstepGang();
+
+  LockstepGang(const LockstepGang&) = delete;
+  LockstepGang& operator=(const LockstepGang&) = delete;
+
+  /// Runs `fn(lane)` on every lane and blocks until all lanes return. If one
+  /// or more lanes threw, the first exception captured (by lane order among
+  /// the throwers' arrival, which is unspecified) is rethrown after every
+  /// lane has finished its round. Not reentrant: Run() must not be called
+  /// from inside `fn`, and only one Run() may be in flight at a time.
+  void Run(const std::function<void(unsigned)>& fn);
+
+  unsigned size() const { return size_; }
+
+ private:
+  void WorkerLoop(unsigned lane);
+  /// Executes fn for one lane, capturing the first exception.
+  void RunLane(unsigned lane);
+
+  const unsigned size_;
+  std::mutex mu_;
+  std::condition_variable round_start_;
+  std::condition_variable round_done_;
+  const std::function<void(unsigned)>* fn_ = nullptr;  ///< Valid during a round.
+  uint64_t generation_ = 0;   ///< Bumped when a round starts.
+  unsigned remaining_ = 0;    ///< Worker lanes still running this round.
   std::exception_ptr first_error_;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
