@@ -1,23 +1,22 @@
 // Structure-of-arrays hot state for a shard's mobile-unit population. The
 // sharded cell engine fans each report delivery out to 10^5+ units; with the
-// hot per-unit fields (sleep state, broadcast counters, next-query time)
-// packed into parallel arrays the fan-out loop streams a few contiguous
-// lanes instead of pointer-chasing through unique_ptr<MobileUnit> — the
-// common sleeping/immediate-mode units are decided from one byte lane and
-// never touch the unit object at all.
+// hot per-unit fields (sleep state, broadcast counters) packed into parallel
+// arrays the fan-out loop streams a few contiguous lanes instead of
+// pointer-chasing through unique_ptr<MobileUnit> — the common
+// sleeping/immediate-mode units are decided from one byte lane and never
+// touch the unit object at all.
 //
 // A MobileUnit bound to a SoA slot (MobileUnit::BindHotState) mirrors its
-// sleep state and next arrival into the lanes; the broadcast counters
-// (reports heard/missed, listen seconds) are then *owned* by the SoA — the
-// engine's fan-out loop writes them and the unit's own stats_ copies stay
-// zero — so harvesting folds `stats_ + soa` without double counting.
+// sleep state into the lanes; the broadcast counters (reports heard/missed,
+// listen seconds) are then *owned* by the SoA — the engine's fan-out loop
+// writes them and the unit's own stats_ copies stay zero — so harvesting
+// folds `stats_ + soa` without double counting.
 
 #ifndef MOBICACHE_MU_HOT_STATE_H_
 #define MOBICACHE_MU_HOT_STATE_H_
 
 #include <cstddef>
 #include <cstdint>
-#include <limits>
 #include <vector>
 
 namespace mobicache {
@@ -28,7 +27,6 @@ struct MuHotSoA {
   std::vector<uint64_t> reports_heard;
   std::vector<uint64_t> reports_missed;
   std::vector<double> listen_seconds;
-  std::vector<double> next_arrival;    ///< +inf when no arrival is pending.
 
   size_t size() const { return awake.size(); }
 
@@ -38,11 +36,10 @@ struct MuHotSoA {
     reports_heard.assign(n, 0);
     reports_missed.assign(n, 0);
     listen_seconds.assign(n, 0.0);
-    next_arrival.assign(n, std::numeric_limits<double>::infinity());
   }
 
-  /// Zeroes the stat lanes (after warm-up); sleep state and pending arrival
-  /// times are live process state and keep their values.
+  /// Zeroes the stat lanes (after warm-up); sleep state is live process
+  /// state and keeps its value.
   void ResetStats() {
     reports_heard.assign(reports_heard.size(), 0);
     reports_missed.assign(reports_missed.size(), 0);

@@ -5,6 +5,16 @@
 
 namespace mobicache {
 
+namespace {
+/// Upper bound on how many future sleep decisions one fast-forward scan may
+/// draw. A bound is required for degenerate models that never flip (s = 1.0
+/// forever-sleepers, or s = 0.0 zero-rate units): the scan stops here and
+/// schedules a continuation tick — one event per kMaxFastForwardScan
+/// intervals — which re-enters the scan. It also caps wasted draws past the
+/// end of a finite run (the scan cannot know when the simulation stops).
+constexpr uint64_t kMaxFastForwardScan = 64;
+}  // namespace
+
 MobileUnit::MobileUnit(Simulator* sim, MobileUnitConfig config,
                        std::unique_ptr<ClientCacheManager> manager,
                        std::unique_ptr<SleepModel> sleep,
@@ -27,14 +37,15 @@ MobileUnit::MobileUnit(Simulator* sim, MobileUnitConfig config,
   }
 }
 
+MobileUnit::~MobileUnit() { sim_->Cancel(pending_tick_); }
+
 Status MobileUnit::Start() {
-  if (ticker_ != nullptr) {
+  if (started_) {
     return Status::FailedPrecondition("mobile unit already started");
   }
-  ticker_ = std::make_unique<PeriodicProcess>(
-      sim_, sim_->Now(), config_.latency,
-      [this](uint64_t interval) { OnIntervalTick(interval); });
-  return ticker_->Start();
+  started_ = true;
+  pending_tick_ = sim_->ScheduleAt(sim_->Now(), [this] { OnIntervalTick(0); });
+  return Status::OK();
 }
 
 void MobileUnit::BindStatefulRegistry(StatefulRegistry* registry,
@@ -57,7 +68,14 @@ void MobileUnit::BindHotState(MuHotSoA* soa, uint32_t index) {
 }
 
 void MobileUnit::OnIntervalTick(uint64_t interval) {
-  const bool awake_now = sleep_->AwakeForInterval(interval);
+  bool awake_now;
+  if (has_predrawn_) {
+    assert(predrawn_interval_ == interval);
+    awake_now = predrawn_awake_;
+    has_predrawn_ = false;
+  } else {
+    awake_now = sleep_->AwakeForInterval(interval);
+  }
 
   if (ever_decided_) {
     if (awake_now && !awake_) {
@@ -82,7 +100,65 @@ void MobileUnit::OnIntervalTick(uint64_t interval) {
   if (awake_) {
     // The user poses queries throughout the interval, independent of when
     // (or whether) the report physically lands.
-    ScheduleNextArrival(sim_->Now() + config_.latency);
+    if (config_.answer_immediately) {
+      // Immediate-answer units keep per-event arrivals: each one fetches
+      // through the uplink/channel, so its interleaving with other units'
+      // traffic must stay exactly as scheduled.
+      ScheduleNextArrival(sim_->Now() + config_.latency);
+    } else {
+      GenerateIntervalArrivals(sim_->Now() + config_.latency);
+    }
+  }
+
+  ScheduleNextTick(interval);
+}
+
+void MobileUnit::ScheduleNextTick(uint64_t interval) {
+  // Awake units with a live query stream tick every interval (each tick
+  // seals the previous interval's arrivals and materializes the next
+  // interval's). Idle units — asleep, or awake with nothing to ask — only
+  // need a tick when their sleep state flips, so scan ahead: every decision
+  // the per-interval engine would have drawn is drawn here, same stream,
+  // same order, and the first differing one is buffered for the single tick
+  // this schedules.
+  uint64_t next = interval + 1;
+  SimTime when = sim_->Now() + config_.latency;
+  const bool idle = !awake_ || total_query_rate_ <= 0.0;
+  if (idle) {
+    for (uint64_t scanned = 1;; ++scanned) {
+      const bool decision = sleep_->AwakeForInterval(next);
+      if (decision != awake_ || scanned >= kMaxFastForwardScan) {
+        has_predrawn_ = true;
+        predrawn_awake_ = decision;
+        predrawn_interval_ = next;
+        break;
+      }
+      ++next;
+      // Repeated addition, not multiplication: tick times must remain the
+      // exact doubles the per-interval schedule would have produced.
+      when += config_.latency;
+    }
+  }
+  pending_tick_ =
+      sim_->ScheduleAt(when, [this, next] { OnIntervalTick(next); });
+}
+
+void MobileUnit::GenerateIntervalArrivals(SimTime interval_end) {
+  if (total_query_rate_ <= 0.0) return;
+  // Identical draw sequence to the per-event path: exponential gap first;
+  // if it lands in the interval, then the item pick — repeat. Arrival
+  // timestamps accumulate gap by gap, reproducing the event clock bit for
+  // bit.
+  SimTime t = sim_->Now();
+  for (;;) {
+    t += rng_.Exponential(total_query_rate_);
+    if (t >= interval_end) return;
+    const ItemId item =
+        config_.hotspot[query_zipf_ != nullptr
+                            ? query_zipf_->Sample(rng_)
+                            : rng_.NextUint64(config_.hotspot.size())];
+    ++stats_.queries_issued;
+    arriving_.emplace(item, t);  // keeps the first arrival time
   }
 }
 
@@ -107,13 +183,17 @@ void MobileUnit::OnReportDelivery(const Report& report) {
   const SimTime validity_ts = ReportTimestamp(report);
   const uint64_t interval = ReportInterval(report);
   std::map<ItemId, SimTime> eligible;
-  while (!pending_groups_.empty() &&
-         pending_groups_.front().answerable_from <= interval) {
-    for (const auto& [id, first] : pending_groups_.front().batches) {
+  while (pending_head_ < pending_groups_.size() &&
+         pending_groups_[pending_head_].answerable_from <= interval) {
+    for (const auto& [id, first] : pending_groups_[pending_head_].batches) {
       auto [it, inserted] = eligible.emplace(id, first);
       if (!inserted && first < it->second) it->second = first;
     }
-    pending_groups_.erase(pending_groups_.begin());
+    ++pending_head_;  // O(1) pop; storage reclaimed when the queue drains
+  }
+  if (pending_head_ == pending_groups_.size()) {
+    pending_groups_.clear();
+    pending_head_ = 0;
   }
   for (const auto& [id, first_issued] : eligible) {
     AnswerBatch(id, first_issued, validity_ts);
@@ -123,30 +203,21 @@ void MobileUnit::OnReportDelivery(const Report& report) {
 void MobileUnit::ScheduleNextArrival(SimTime interval_end) {
   if (total_query_rate_ <= 0.0) return;
   const SimTime next = sim_->Now() + rng_.Exponential(total_query_rate_);
-  if (next >= interval_end) {
-    // No more arrivals this interval.
-    if (hot_ != nullptr) {
-      hot_->next_arrival[hot_index_] =
-          std::numeric_limits<double>::infinity();
-    }
-    return;
-  }
-  if (hot_ != nullptr) hot_->next_arrival[hot_index_] = next;
+  if (next >= interval_end) return;  // no more arrivals this interval
   sim_->ScheduleAt(next,
                    [this, interval_end] { OnQueryArrival(interval_end); });
 }
 
 void MobileUnit::OnQueryArrival(SimTime interval_end) {
+  // Only immediate-answer units take this path; report-driven arrivals are
+  // generated in bulk at the interval tick (GenerateIntervalArrivals).
+  assert(config_.answer_immediately);
   const ItemId item =
       config_.hotspot[query_zipf_ != nullptr
                           ? query_zipf_->Sample(rng_)
                           : rng_.NextUint64(config_.hotspot.size())];
   ++stats_.queries_issued;
-  if (config_.answer_immediately) {
-    AnswerBatch(item, sim_->Now(), sim_->Now());
-  } else {
-    arriving_.emplace(item, sim_->Now());  // keeps the first arrival time
-  }
+  AnswerBatch(item, sim_->Now(), sim_->Now());
   ScheduleNextArrival(interval_end);
 }
 

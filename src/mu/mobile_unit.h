@@ -18,6 +18,14 @@
 // For the stateful baselines (§4.1) the unit instead answers queries
 // immediately on arrival and is invalidated push-style via the
 // StatefulRegistry.
+//
+// Event cost model: a unit only costs simulator events while it has work.
+// Sleeping stretches are fast-forwarded (one wake event per nap, however
+// long), and report-driven units materialize each interval's whole query
+// stream inside the tick instead of one event per arrival — so dispatch
+// counts scale with awake-unit activity, not units x intervals. All RNG
+// draw sequences are preserved bit for bit (see ScheduleNextTick /
+// GenerateIntervalArrivals).
 
 #ifndef MOBICACHE_MU_MOBILE_UNIT_H_
 #define MOBICACHE_MU_MOBILE_UNIT_H_
@@ -86,6 +94,8 @@ class MobileUnit {
              std::unique_ptr<SleepModel> sleep, UplinkService* uplink,
              uint64_t seed);
 
+  ~MobileUnit();
+
   MobileUnit(const MobileUnit&) = delete;
   MobileUnit& operator=(const MobileUnit&) = delete;
 
@@ -108,10 +118,10 @@ class MobileUnit {
   void OnReportDelivery(const Report& report);
 
   /// Mirrors this unit's hot fields into `soa` slot `index` (see
-  /// hot_state.h). The unit keeps `awake`/`next_arrival` current from its
-  /// tick and arrival handlers; the broadcast counters become SoA-owned, so
-  /// the caller must stop routing OnBroadcast through this unit and drive
-  /// the SoA loop + OnReportDelivery itself.
+  /// hot_state.h). The unit keeps `awake` current from its tick handler
+  /// (including fast-forwarded wake ticks); the broadcast counters become
+  /// SoA-owned, so the caller must stop routing OnBroadcast through this
+  /// unit and drive the SoA loop + OnReportDelivery itself.
   void BindHotState(MuHotSoA* soa, uint32_t index);
 
   /// Wires this unit to a stateful-server registry. `drop_cache_on_wake`
@@ -144,12 +154,26 @@ class MobileUnit {
   const MobileUnitConfig& config() const { return config_; }
   size_t pending_batches() const {
     size_t n = arriving_.size();
-    for (const auto& group : pending_groups_) n += group.batches.size();
+    for (size_t i = pending_head_; i < pending_groups_.size(); ++i) {
+      n += pending_groups_[i].batches.size();
+    }
     return n;
   }
 
  private:
   void OnIntervalTick(uint64_t interval);
+  /// Schedules the tick that will handle `interval + 1` — or, when the unit
+  /// is idle (asleep, or awake with a zero query rate), fast-forwards: draws
+  /// the upcoming sleep decisions in a tight loop (same RNG stream, same
+  /// order as per-interval ticking) and schedules a single tick at the first
+  /// interval whose decision flips the state, buffering that pre-drawn
+  /// decision for the tick to consume.
+  void ScheduleNextTick(uint64_t interval);
+  /// Report-driven units: draws the whole interval's exponential
+  /// interarrival gaps and item picks in one loop and appends to
+  /// `arriving_`, replicating the per-event engine's draw order (gap, then
+  /// item) and arrival timestamps bit for bit.
+  void GenerateIntervalArrivals(SimTime interval_end);
   void ScheduleNextArrival(SimTime interval_end);
   void OnQueryArrival(SimTime interval_end);
   /// Answers one batch at the current time; `validity_ts` is the timestamp
@@ -177,12 +201,24 @@ class MobileUnit {
     std::map<ItemId, SimTime> batches;  ///< item -> first arrival time.
   };
   std::map<ItemId, SimTime> arriving_;
-  /// FIFO of sealed groups, popped from the front. A vector (erase(begin()))
-  /// rather than a deque: groups in flight are at most one or two, and
-  /// libstdc++'s deque pre-allocates a ~512-byte map per instance — real
-  /// memory at 10^6 units.
+  /// FIFO of sealed groups: a vector plus a head index rather than a deque
+  /// (libstdc++'s deque pre-allocates a ~512-byte map per instance — real
+  /// memory at 10^6 units). Popping advances `pending_head_`; storage is
+  /// reclaimed whenever the queue drains, so a long run of missed reports
+  /// costs O(groups) total instead of the O(groups^2) a front-erase would.
   std::vector<SealedGroup> pending_groups_;
-  std::unique_ptr<PeriodicProcess> ticker_;
+  size_t pending_head_ = 0;
+  /// The single pending interval tick (the unit schedules its own ticks so
+  /// sleeping stretches can be skipped; see ScheduleNextTick).
+  EventId pending_tick_{};
+  bool started_ = false;
+  /// Fast-forward buffer: the sleep decision for `predrawn_interval_`,
+  /// already drawn by a ScheduleNextTick scan. The tick for that interval
+  /// must consume this instead of drawing again (SleepModel streams are
+  /// strictly one draw per interval, in order).
+  bool has_predrawn_ = false;
+  bool predrawn_awake_ = false;
+  uint64_t predrawn_interval_ = 0;
   MobileUnitStats stats_;
   AnswerObserver answer_observer_;
   bool awake_ = false;

@@ -183,6 +183,9 @@ class ClientSignatureView {
   const SignatureFamily* family_;
   std::vector<uint32_t> relevant_;      // ascending subset indices of interest
   std::vector<uint64_t> stored_;        // signature per relevant_ entry
+  /// Reused flat map over the m subsets marking this report's mismatches
+  /// (only indices in relevant_ are ever set; cleared after each diagnosis).
+  std::vector<uint8_t> mismatch_bits_;
   bool has_baseline_ = false;
 };
 

@@ -61,10 +61,10 @@ bool Simulator::SkipCancelledTop() {
   return false;
 }
 
-std::function<void()> Simulator::TakeRootForDispatch() {
+EventFn Simulator::TakeRootForDispatch() {
   const Entry top = HeapPopRoot();
   Slot& slot = slots_[top.slot];
-  std::function<void()> fn = std::move(slot.fn);
+  EventFn fn = std::move(slot.fn);
   slot.fn = nullptr;
   slot.seq = 0;  // a Cancel() with the fired event's id must miss
   free_slots_.push_back(top.slot);
@@ -73,7 +73,7 @@ std::function<void()> Simulator::TakeRootForDispatch() {
   return fn;
 }
 
-EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+EventId Simulator::ScheduleAt(SimTime when, EventFn fn) {
   assert(when >= now_ && "cannot schedule in the past");
   assert(fn != nullptr);
   const uint64_t seq = next_seq_++;
@@ -93,7 +93,7 @@ EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
   return EventId{seq, slot};
 }
 
-EventId Simulator::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+EventId Simulator::ScheduleAfter(SimTime delay, EventFn fn) {
   assert(delay >= 0.0);
   return ScheduleAt(now_ + delay, std::move(fn));
 }
@@ -113,7 +113,7 @@ uint64_t Simulator::Run() {
   stopped_ = false;
   uint64_t n = 0;
   while (!stopped_ && SkipCancelledTop()) {
-    std::function<void()> fn = TakeRootForDispatch();
+    EventFn fn = TakeRootForDispatch();
     ++n;
     fn();
   }
@@ -126,7 +126,7 @@ uint64_t Simulator::RunUntil(SimTime end) {
   uint64_t n = 0;
   while (!stopped_ && SkipCancelledTop()) {
     if (heap_.front().when > end) break;
-    std::function<void()> fn = TakeRootForDispatch();
+    EventFn fn = TakeRootForDispatch();
     ++n;
     fn();
   }
@@ -140,7 +140,7 @@ uint64_t Simulator::RunUntilBefore(SimTime end) {
   uint64_t n = 0;
   while (!stopped_ && SkipCancelledTop()) {
     if (heap_.front().when >= end) break;
-    std::function<void()> fn = TakeRootForDispatch();
+    EventFn fn = TakeRootForDispatch();
     ++n;
     fn();
   }
@@ -157,7 +157,7 @@ void Simulator::Reserve(size_t pending_events) {
 bool Simulator::Step() {
   stopped_ = false;
   if (!SkipCancelledTop()) return false;
-  std::function<void()> fn = TakeRootForDispatch();
+  EventFn fn = TakeRootForDispatch();
   fn();
   return true;
 }

@@ -15,8 +15,12 @@
 #ifndef MOBICACHE_SIM_SIMULATOR_H_
 #define MOBICACHE_SIM_SIMULATOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -25,6 +29,100 @@ namespace mobicache {
 
 /// Virtual time in seconds.
 using SimTime = double;
+
+/// Move-only `void()` callable with fixed small-buffer storage and no heap
+/// fallback: every event callback in the simulator lives inline in its slot,
+/// so scheduling and dispatching allocate nothing. The capture budget is
+/// enforced at compile time — a closure that outgrows kInlineBytes is a
+/// static_assert, not a silent allocation. 48 bytes covers every current
+/// caller (the largest is the server's delivery closure at 40 bytes: a
+/// pointer, a shared_ptr, and two doubles) with one pointer of headroom.
+class EventFn {
+ public:
+  static constexpr size_t kInlineBytes = 48;
+  static constexpr size_t kInlineAlign = alignof(void*);
+
+  EventFn() = default;
+  EventFn(std::nullptr_t) {}  // NOLINT: mirrors std::function conversions
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+  EventFn(F&& f) {  // NOLINT: implicit, mirrors std::function
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kInlineBytes,
+                  "event closure exceeds the EventFn small-buffer budget; "
+                  "shrink the capture list (EventFn has no heap fallback)");
+    static_assert(alignof(Fn) <= kInlineAlign,
+                  "event closure is over-aligned for EventFn inline storage");
+    static_assert(std::is_invocable_r_v<void, Fn&>,
+                  "EventFn requires a void() callable");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    ops_ = &OpsFor<Fn>::kOps;
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  EventFn& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  friend bool operator==(const EventFn& f, std::nullptr_t) { return !f; }
+  friend bool operator!=(const EventFn& f, std::nullptr_t) {
+    return static_cast<bool>(f);
+  }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-constructs `dst` from `src`, then destroys `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  struct OpsFor {
+    static void Invoke(void* self) { (*static_cast<Fn*>(self))(); }
+    static void Relocate(void* dst, void* src) {
+      Fn* from = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void Destroy(void* self) { static_cast<Fn*>(self)->~Fn(); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy};
+  };
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+  void MoveFrom(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
 
 /// Identifies a scheduled event; usable to cancel it before it fires.
 /// Treat as opaque: `seq` is a lifetime-unique event number (0 = never a
@@ -49,11 +147,12 @@ class Simulator {
   SimTime Now() const { return now_; }
 
   /// Schedules `fn` to run at absolute time `when`. `when` must be >= Now().
-  /// Returns an id usable with Cancel().
-  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+  /// Returns an id usable with Cancel(). The callback is stored inline in
+  /// the event slot (see EventFn) — no per-event heap allocation.
+  EventId ScheduleAt(SimTime when, EventFn fn);
 
   /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
-  EventId ScheduleAfter(SimTime delay, std::function<void()> fn);
+  EventId ScheduleAfter(SimTime delay, EventFn fn);
 
   /// Cancels a pending event in O(1). Returns true if the event existed and
   /// had not yet fired (lazy removal: the slot stays queued but becomes a
@@ -108,9 +207,11 @@ class Simulator {
 
   /// Callback storage for one pending event. A slot is owned by exactly one
   /// queued entry (matching seq) from ScheduleAt until that entry is popped,
-  /// then recycled through free_slots_.
+  /// then recycled through free_slots_. The callback bytes live inline in
+  /// the slot (EventFn small buffer), so the slab is flat storage with no
+  /// per-event pointer chasing or allocation.
   struct Slot {
-    std::function<void()> fn;
+    EventFn fn;
     uint64_t seq = 0;
     bool cancelled = false;
   };
@@ -123,7 +224,7 @@ class Simulator {
   bool SkipCancelledTop();
   /// Moves the root's callback out, recycles its slot, advances the clock,
   /// and returns the callback ready to invoke.
-  std::function<void()> TakeRootForDispatch();
+  EventFn TakeRootForDispatch();
 
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 1;  // 0 is reserved so a default EventId is inert

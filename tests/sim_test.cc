@@ -1,8 +1,49 @@
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "sim/simulator.h"
+
+// Counts every global operator new in this test binary so the
+// allocation-free contract of the event hot path can be asserted as a
+// delta around a schedule/dispatch burst. Atomic because parts of the
+// suite also run under TSan.
+namespace {
+std::atomic<size_t> g_new_calls{0};
+}  // namespace
+
+// noinline keeps the malloc/free bodies opaque at new/delete expression
+// sites, which would otherwise trip GCC's -Wmismatched-new-delete.
+#if defined(__GNUC__)
+#define MOBICACHE_TEST_NOINLINE __attribute__((noinline))
+#else
+#define MOBICACHE_TEST_NOINLINE
+#endif
+
+MOBICACHE_TEST_NOINLINE void* operator new(std::size_t size) {
+  ++g_new_calls;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+MOBICACHE_TEST_NOINLINE void* operator new[](std::size_t size) {
+  return ::operator new(size);
+}
+MOBICACHE_TEST_NOINLINE void operator delete(void* p) noexcept {
+  std::free(p);
+}
+MOBICACHE_TEST_NOINLINE void operator delete[](void* p) noexcept {
+  std::free(p);
+}
+MOBICACHE_TEST_NOINLINE void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+MOBICACHE_TEST_NOINLINE void operator delete[](void* p, std::size_t) noexcept {
+  std::free(p);
+}
 
 namespace mobicache {
 namespace {
@@ -256,6 +297,70 @@ TEST(PeriodicProcessTest, DestructionCancelsPendingTick) {
   }
   sim.RunUntil(10.0);
   EXPECT_EQ(fired, 3);  // ticks at 0, 1, 2 only
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-free hot path: scheduling and dispatching events must not touch
+// the heap once the queue structures are reserved (EventFn stores captures
+// inline; slots and heap entries come from pre-sized vectors).
+
+TEST(EventFnTest, StoresMaximalCaptureInline) {
+  // A capture at exactly the 48-byte budget: the largest real caller is the
+  // server delivery closure (pointer + shared_ptr + two doubles = 40).
+  struct Payload {
+    void* a;
+    std::shared_ptr<int> b;
+    double c;
+    double d;
+    void* e;
+  };
+  static_assert(sizeof(Payload) == EventFn::kInlineBytes);
+  int fired = 0;
+  Payload payload{&fired, nullptr, 1.0, 2.0, nullptr};
+  EventFn fn = [payload] { ++*static_cast<int*>(payload.a); };
+  EXPECT_TRUE(static_cast<bool>(fn));
+  EventFn moved = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));
+  moved();
+  EXPECT_EQ(fired, 1);
+  moved = nullptr;
+  EXPECT_TRUE(moved == nullptr);
+}
+
+TEST(EventFnTest, DestroysCaptureOnResetAndMove) {
+  std::shared_ptr<int> token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  {
+    EventFn held = [token] { (void)*token; };
+    token.reset();
+    EXPECT_FALSE(watch.expired());  // closure keeps it alive
+    EventFn stolen = std::move(held);
+    EXPECT_FALSE(watch.expired());  // relocated, not dropped
+  }
+  EXPECT_TRUE(watch.expired());  // destroyed exactly once at scope exit
+}
+
+TEST(SimulatorTest, HotPathDoesNotAllocate) {
+  Simulator sim;
+  sim.Reserve(64);
+  int sink = 0;
+  double payload[4] = {1.0, 2.0, 3.0, 4.0};
+
+  const size_t before = g_new_calls.load();
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 32; ++i) {
+      sim.ScheduleAfter(static_cast<double>(i) + 0.5, [&sink, payload] {
+        sink += static_cast<int>(payload[0]);
+      });
+    }
+    // Cancellation and dispatch both recycle slots without freeing.
+    EventId id = sim.ScheduleAfter(0.25, [&sink] { ++sink; });
+    ASSERT_TRUE(sim.Cancel(id));
+    sim.Run();
+  }
+  const size_t after = g_new_calls.load();
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(sink, 8 * 32);
 }
 
 }  // namespace
