@@ -87,6 +87,7 @@ Report AdaptiveTsServerStrategy::BuildReport(SimTime now, uint64_t interval) {
   // The complete table of non-cold windows travels with every report so a
   // client's window knowledge is always refreshed in full; its size is
   // bounded by the number of distinct items the cell actually queries.
+  // detlint:allow(unordered-output) entries are sorted by id below
   for (const auto& [id, st] : controllers_) {
     if (st.window != options_.cold_window) {
       report.window_changes.push_back(
@@ -128,6 +129,7 @@ double MhrFromClientHistories(
     const std::unordered_map<uint32_t, std::vector<SimTime>>& by_client,
     const std::vector<SimTime>& updates, SimTime period_start) {
   uint64_t hits = 0, total = 0;
+  // detlint:allow(unordered-output) integer sums are iteration-order-free
   for (const auto& [client, queries] : by_client) {
     const auto [h, n] = ClientWouldBeHits(queries, updates, period_start);
     hits += h;
@@ -171,7 +173,17 @@ void AdaptiveTsServerStrategy::Reevaluate(SimTime now, uint64_t interval) {
     if (period_.count(ev.id) > 0) updates[ev.id].push_back(ev.updated_at);
   }
 
-  for (auto& [id, act] : period_) {
+  // Evaluate items in sorted-id order. The per-item decisions are
+  // independent, so hash order was not load-bearing — but determinism in a
+  // report path should be structural, not incidental.
+  std::vector<ItemId> item_ids;
+  item_ids.reserve(period_.size());
+  // detlint:allow(unordered-output) keys are sorted below before use
+  for (const auto& entry : period_) item_ids.push_back(entry.first);
+  std::sort(item_ids.begin(), item_ids.end());
+
+  for (ItemId id : item_ids) {
+    PeriodActivity& act = period_.find(id)->second;
     // Controllers are created on uplink queries; a period entry without one
     // cannot exist for reported items (reporting requires window > 0).
     auto it = controllers_.find(id);

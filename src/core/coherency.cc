@@ -156,7 +156,7 @@ ArithmeticAtServerStrategy::ArithmeticAtServerStrategy(const Database* db,
 }
 
 ArithmeticAtServerStrategy::ItemDrift& ArithmeticAtServerStrategy::Track(
-    ItemId id) {
+    ItemId id) const {
   ItemDrift& d = drift_[id];
   const uint64_t current = db_->Get(id).version;
   if (current > d.version) {
@@ -184,7 +184,7 @@ Report ArithmeticAtServerStrategy::BuildReport(SimTime now,
 }
 
 double ArithmeticAtServerStrategy::CurrentNumeric(ItemId id) const {
-  return const_cast<ArithmeticAtServerStrategy*>(this)->Track(id).numeric;
+  return Track(id).numeric;
 }
 
 }  // namespace mobicache

@@ -148,7 +148,9 @@ class ArithmeticAtServerStrategy : public ServerStrategy {
     double last_reported = 0.0;
   };
 
-  ItemDrift& Track(ItemId id);
+  /// Const because it only advances the `mutable` drift cache — the logical
+  /// value of the strategy is unchanged by lazily materializing a walk.
+  ItemDrift& Track(ItemId id) const;
 
   const Database* db_;
   const NumericWalk* walk_;

@@ -54,6 +54,7 @@ void StatefulRegistry::OnClientWake(ClientId client) {
   if (mode_ == StatefulMode::kIdeal) return;
   // Reconnection: the server's record is stale; the client starts over.
   ClientRecord& rec = clients_[client];
+  // detlint:allow(unordered-output) holder-set maintenance, nothing escapes
   for (ItemId id : rec.cached) {
     auto it = holders_.find(id);
     if (it != holders_.end()) {

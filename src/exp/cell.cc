@@ -203,6 +203,7 @@ CellResult Cell::result() const {
   r.mean_answer_latency =
       latency_samples == 0 ? 0.0 : latency_sum / static_cast<double>(latency_samples);
   r.reports_broadcast = server_->stats().reports_broadcast;
+  r.quiet_report_intervals = server_->stats().quiet_report_intervals;
   r.avg_report_bits = server_->stats().report_bits.mean();
   if (async_ != nullptr && measure_intervals_ > 0) {
     // Asynchronous mode has no periodic report; its per-interval broadcast

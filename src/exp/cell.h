@@ -102,6 +102,9 @@ struct CellResult {
   uint64_t reports_broadcast = 0;
   uint64_t reports_heard = 0;
   uint64_t reports_missed = 0;
+  /// Measured intervals whose report delivery found every unit asleep
+  /// (pure downlink waste; see ServerStats::quiet_report_intervals).
+  uint64_t quiet_report_intervals = 0;
   double measured_sleep_fraction = 0.0;
   uint64_t items_invalidated = 0;
   double listen_seconds_total = 0.0;

@@ -40,7 +40,8 @@ struct MegaCell::Shard {
   /// value can be up to one interval newer than the classic interleaving —
   /// see the header's value-skew note.
   struct Uplink final : UplinkService {
-    Uplink(Shard* shard, const Database* db) : shard(shard), db(db) {}
+    Uplink(Shard* owner, const Database* database)
+        : shard(owner), db(database) {}
     FetchResult FetchItem(const UplinkQueryInfo& info) override {
       const SimTime now = shard->sim.Now();
       LogRecord rec;
@@ -67,19 +68,24 @@ struct MegaCell::Shard {
 
   /// Delivers one report to the slice: the sleeping/immediate-mode units
   /// are settled entirely from the SoA lanes; only awake report-consuming
-  /// units dereference their MobileUnit.
-  void FanOut(const Report& report, double listen_seconds) {
+  /// units dereference their MobileUnit. Returns how many units heard it —
+  /// the barrier sums the counts across shards into the quiet-interval
+  /// counter.
+  uint64_t FanOut(const Report& report, double listen_seconds) {
     const size_t n = units.size();
+    uint64_t heard = 0;
     for (size_t i = 0; i < n; ++i) {
       if (!soa.awake[i]) {
         ++soa.reports_missed[i];
         continue;
       }
+      ++heard;
       ++soa.reports_heard[i];
       soa.listen_seconds[i] += listen_seconds;
       if (soa.immediate[i]) continue;
       units[i]->OnReportDelivery(report);
     }
+    return heard;
   }
 
   /// Asynchronous-mode invalidation fan-out (AsyncBroadcaster::OnUpdate's
@@ -105,6 +111,10 @@ struct MegaCell::Shard {
   std::unique_ptr<StatefulRegistry> registry;
   Uplink uplink;
   std::vector<LogRecord> log;
+  /// Units heard per pending delivery this window (index-aligned with
+  /// MegaCell::pending_deliveries_; sized in the shard phase, summed at the
+  /// barrier).
+  std::vector<uint64_t> delivery_heard;
   uint64_t async_deliveries = 0;
   double wall_seconds = 0.0;
 };
@@ -288,6 +298,15 @@ Status MegaCell::Build() {
 }
 
 void MegaCell::ReplayWindow() {
+  // Quiet-interval accounting: a delivery was quiet when no shard's slice
+  // heard it. (The server's own counter stays zero in sharded mode — the
+  // delivery sink bypasses its fan-out.)
+  for (size_t k = 0; k < pending_deliveries_.size(); ++k) {
+    uint64_t heard = 0;
+    for (const auto& shard : shards_) heard += shard->delivery_heard[k];
+    if (heard == 0) ++quiet_report_intervals_;
+  }
+
   // K-way merge of the per-shard logs (each already time-sorted) plus, in
   // asynchronous mode, the update trace (each update is one id-sized
   // broadcast message). Ties break toward the trace, then lower shard — at
@@ -351,10 +370,12 @@ void MegaCell::AdvanceWindow(SimTime cut, bool inclusive) {
   gang_->Run([this, cut, inclusive](unsigned lane) {
     Shard& sh = *shards_[lane];
     const WallClock::time_point s0 = WallClock::now();
-    for (const Server::ReportDelivery& d : pending_deliveries_) {
+    sh.delivery_heard.assign(pending_deliveries_.size(), 0);
+    for (size_t k = 0; k < pending_deliveries_.size(); ++k) {
+      const Server::ReportDelivery& d = pending_deliveries_[k];
       Shard* raw = &sh;
-      sh.sim.ScheduleAt(d.done, [raw, d] {
-        raw->FanOut(*d.report, d.listen_seconds);
+      sh.sim.ScheduleAt(d.done, [raw, d, k] {
+        raw->delivery_heard[k] = raw->FanOut(*d.report, d.listen_seconds);
       });
     }
     if (trace_updates_) {
@@ -389,6 +410,7 @@ void MegaCell::ResetAllStats() {
   server_->ResetStats();
   channel_->ResetStats();
   async_messages_ = 0;
+  quiet_report_intervals_ = 0;
   for (auto& shard : shards_) {
     if (shard->registry != nullptr) shard->registry->ResetStats();
     shard->async_deliveries = 0;
@@ -492,6 +514,7 @@ CellResult MegaCell::result() const {
           ? 0.0
           : latency_sum / static_cast<double>(latency_samples);
   r.reports_broadcast = server_->stats().reports_broadcast;
+  r.quiet_report_intervals = quiet_report_intervals_;
   r.avg_report_bits = server_->stats().report_bits.mean();
   if (async_mode_ && measure_intervals_ > 0) {
     // Asynchronous mode has no periodic report; its per-interval broadcast

@@ -157,6 +157,10 @@ class MegaCell {
 
   uint64_t measure_intervals_ = 0;
   uint64_t async_messages_ = 0;
+  /// Deliveries no shard's slice heard (summed at the barrier); mirrors
+  /// ServerStats::quiet_report_intervals, which the sharded engine bypasses
+  /// via the delivery sink.
+  uint64_t quiet_report_intervals_ = 0;
   std::vector<MegaCellShardStats> shard_stats_;
   double server_wall_seconds_ = 0.0;
 };

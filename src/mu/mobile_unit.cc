@@ -162,17 +162,17 @@ void MobileUnit::GenerateIntervalArrivals(SimTime interval_end) {
   }
 }
 
-void MobileUnit::OnBroadcast(const Report& report, double listen_seconds) {
+bool MobileUnit::OnBroadcast(const Report& report, double listen_seconds) {
   if (!awake_) {
     ++stats_.reports_missed;
-    return;
+    return false;
   }
   ++stats_.reports_heard;
   stats_.listen_seconds += listen_seconds;
 
-  if (config_.answer_immediately) return;  // stateful modes ignore reports
-
-  OnReportDelivery(report);
+  // Stateful modes ignore report contents but still pay the listen cost.
+  if (!config_.answer_immediately) OnReportDelivery(report);
+  return true;
 }
 
 void MobileUnit::OnReportDelivery(const Report& report) {

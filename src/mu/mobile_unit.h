@@ -107,8 +107,9 @@ class MobileUnit {
 
   /// Called by the cell/server when the report lands (transmission
   /// complete). `listen_seconds` is the energy the unit pays to receive it
-  /// if awake.
-  void OnBroadcast(const Report& report, double listen_seconds);
+  /// if awake. Returns true when the unit heard the report (was awake) —
+  /// the server aggregates this into its quiet-interval counter.
+  bool OnBroadcast(const Report& report, double listen_seconds);
 
   /// The report-consumption half of OnBroadcast, minus the awake check and
   /// the heard/missed/listen accounting: applies the report to the cache and

@@ -87,7 +87,11 @@ void Server::Deliver(std::shared_ptr<const Report> report, uint64_t bits,
       delivery_sink_(ReportDelivery{report, listen, done});
       return;
     }
-    for (MobileUnit* unit : units_) unit->OnBroadcast(*report, listen);
+    uint64_t heard = 0;
+    for (MobileUnit* unit : units_) {
+      if (unit->OnBroadcast(*report, listen)) ++heard;
+    }
+    if (heard == 0) ++stats_.quiet_report_intervals;
   });
 }
 

@@ -34,6 +34,10 @@ struct ServerConfig {
 struct ServerStats {
   uint64_t reports_broadcast = 0;
   uint64_t uplink_queries_served = 0;
+  /// Report deliveries nobody heard: every attached unit was asleep when the
+  /// transmission completed. The paper's energy argument hinges on these —
+  /// a report that lands in a fully sleeping cell is pure downlink waste.
+  uint64_t quiet_report_intervals = 0;
   OnlineStats report_bits;       ///< Per-report size distribution (Bc).
   OnlineStats report_air_seconds;///< Per-report airtime.
 };

@@ -1,6 +1,8 @@
 #include "util/flags.h"
 
+#include <cerrno>
 #include <cstdlib>
+#include <set>
 #include <sstream>
 
 namespace mobicache {
@@ -51,20 +53,31 @@ Status FlagParser::Assign(const Flag& flag, const std::string& text) {
       return Status::OK();
     case Type::kUint: {
       char* end = nullptr;
+      errno = 0;
       const uint64_t value = std::strtoull(text.c_str(), &end, 10);
-      if (end == nullptr || *end != '\0' || text.empty()) {
+      // strtoull silently wraps negative input; reject it explicitly.
+      if (end == nullptr || *end != '\0' || text.empty() || text[0] == '-') {
         return Status::InvalidArgument("--" + flag.name +
                                        " expects an unsigned integer");
+      }
+      if (errno == ERANGE) {
+        return Status::InvalidArgument("--" + flag.name +
+                                       " is out of range for uint64");
       }
       *static_cast<uint64_t*>(flag.out) = value;
       return Status::OK();
     }
     case Type::kDouble: {
       char* end = nullptr;
+      errno = 0;
       const double value = std::strtod(text.c_str(), &end);
       if (end == nullptr || *end != '\0' || text.empty()) {
         return Status::InvalidArgument("--" + flag.name +
                                        " expects a number");
+      }
+      if (errno == ERANGE) {
+        return Status::InvalidArgument("--" + flag.name +
+                                       " is out of range for double");
       }
       *static_cast<double*>(flag.out) = value;
       return Status::OK();
@@ -85,6 +98,7 @@ Status FlagParser::Assign(const Flag& flag, const std::string& text) {
 }
 
 Status FlagParser::Parse(int argc, char** argv) {
+  std::set<std::string> seen;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -100,6 +114,11 @@ Status FlagParser::Parse(int argc, char** argv) {
     const Flag* flag = Find(name);
     if (flag == nullptr) {
       return Status::InvalidArgument("unknown flag --" + name);
+    }
+    // A repeated flag is almost always a typo in a sweep script; reject it
+    // rather than silently letting the last occurrence win.
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument("duplicate flag --" + name);
     }
     if (eq == std::string::npos) {
       if (flag->type != Type::kBool) {

@@ -30,8 +30,10 @@ class FlagParser {
   void AddBool(const std::string& name, bool default_value,
                const std::string& help, bool* out);
 
-  /// Parses argv. Returns InvalidArgument on unknown flags or bad values.
-  /// `--help` is always accepted and sets help_requested().
+  /// Parses argv. Returns InvalidArgument on unknown flags, bad or
+  /// out-of-range values, and repeated flags (a repeat would otherwise
+  /// silently resolve last-wins). `--help` is always accepted and sets
+  /// help_requested().
   Status Parse(int argc, char** argv);
 
   bool help_requested() const { return help_requested_; }

@@ -78,6 +78,33 @@ TEST(CellTest, EveryStrategyRuns) {
   }
 }
 
+TEST(CellTest, QuietReportIntervals) {
+  // s = 0: every unit is awake for every delivery, so no interval is quiet.
+  {
+    CellConfig c = SmallConfig(StrategyKind::kTs);
+    c.model.s = 0.0;
+    Cell cell(c);
+    ASSERT_TRUE(cell.Build().ok());
+    ASSERT_TRUE(cell.Run(2, 50).ok());
+    const CellResult r = cell.result();
+    EXPECT_EQ(r.quiet_report_intervals, 0u);
+    EXPECT_EQ(r.reports_missed, 0u);
+  }
+  // s = 1: nobody ever listens, so every measured delivery lands in a fully
+  // sleeping cell.
+  {
+    CellConfig c = SmallConfig(StrategyKind::kTs);
+    c.model.s = 1.0;
+    Cell cell(c);
+    ASSERT_TRUE(cell.Build().ok());
+    ASSERT_TRUE(cell.Run(2, 50).ok());
+    const CellResult r = cell.result();
+    EXPECT_EQ(r.reports_heard, 0u);
+    EXPECT_GT(r.quiet_report_intervals, 0u);
+    EXPECT_LE(r.quiet_report_intervals, r.reports_broadcast);
+  }
+}
+
 TEST(CellTest, DeterministicForFixedSeed) {
   auto run = [] {
     Cell cell(SmallConfig(StrategyKind::kTs));

@@ -68,6 +68,7 @@ void ExpectResultsEqual(const CellResult& a, const CellResult& b) {
   EXPECT_EQ(a.reports_broadcast, b.reports_broadcast);
   EXPECT_EQ(a.reports_heard, b.reports_heard);
   EXPECT_EQ(a.reports_missed, b.reports_missed);
+  EXPECT_EQ(a.quiet_report_intervals, b.quiet_report_intervals);
   EXPECT_EQ(a.measured_sleep_fraction, b.measured_sleep_fraction);
   EXPECT_EQ(a.items_invalidated, b.items_invalidated);
   EXPECT_EQ(a.listen_seconds_total, b.listen_seconds_total);
@@ -146,8 +147,8 @@ INSTANTIATE_TEST_SUITE_P(
                       StrategyKind::kQuasiAt, StrategyKind::kAdaptiveTs,
                       StrategyKind::kStateful, StrategyKind::kIdeal,
                       StrategyKind::kAsync),
-    [](const ::testing::TestParamInfo<StrategyKind>& info) {
-      return std::string(StrategyName(info.param));
+    [](const ::testing::TestParamInfo<StrategyKind>& param_info) {
+      return std::string(StrategyName(param_info.param));
     });
 
 TEST(MegaCellTest, ShardedSweepCsvIsByteIdentical) {

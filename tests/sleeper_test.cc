@@ -153,8 +153,8 @@ INSTANTIATE_TEST_SUITE_P(
                       StreamIdentityCase{1.0, 0.2},   // never wakes
                       StreamIdentityCase{0.0, 0.0},   // awake but rate 0
                       StreamIdentityCase{0.5, 0.0}),  // both idle reasons
-    [](const ::testing::TestParamInfo<StreamIdentityCase>& info) {
-      const auto& p = info.param;
+    [](const ::testing::TestParamInfo<StreamIdentityCase>& param_info) {
+      const auto& p = param_info.param;
       std::string name = "s";
       name += std::to_string(static_cast<int>(p.s * 100));
       name += "_lambda";

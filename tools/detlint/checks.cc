@@ -1,0 +1,343 @@
+#include "checks.h"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+
+namespace detlint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scope tables. Paths are repo-relative with forward slashes.
+
+/// rng-stream-discipline: the only files sanctioned to draw from a util::Rng.
+/// Each entry owns a private, positionally-seeded substream; adding a draw
+/// call anywhere else requires a conscious decision about stream ordering
+/// (and usually a new substream), so the file must be added here explicitly.
+constexpr std::array kRngSanctionedFiles = {
+    "src/util/random.h",        // the generator itself
+    "src/util/random.cc",
+    "src/mu/mobile_unit.cc",    // per-unit query stream (mu_seed substream)
+    "src/mu/sleep_model.cc",    // per-unit sleep stream (mu_seed ^ salt)
+    "src/db/update_generator.cc",  // the cell's update stream
+    "src/mu/hotspot.cc",        // build-time hotspot choice (hotspot_seed)
+    "src/net/delivery.cc",      // delivery-jitter stream (delivery_seed)
+};
+
+/// Rng/ZipfDistribution draw methods whose call order defines a stream.
+constexpr std::array kRngDrawMethods = {
+    "NextDouble", "NextUint64", "NextBits",
+    "Bernoulli",  "Exponential", "Poisson", "Sample",
+};
+
+/// unordered-output: the report-building / stats / CSV paths where hash
+/// iteration order could leak into observable output.
+constexpr std::array kOutputPathPrefixes = {
+    "src/core/", "src/sig/", "src/exp/", "src/analysis/",
+    "src/util/stats", "src/util/table",
+};
+
+/// alloc-event-path: calls that allocate (or may allocate) when they appear
+/// in the body of a lambda scheduled on the event loop.
+constexpr std::array kAllocCallees = {
+    "make_unique", "make_shared", "malloc",   "calloc",       "realloc",
+    "strdup",      "push_back",   "emplace",  "emplace_back", "insert",
+    "resize",      "reserve",     "assign",   "append",
+};
+
+/// wall-clock: identifiers that are non-deterministic by construction and
+/// banned outright wherever they appear in src/.
+constexpr std::array kWallClockIdents = {
+    "system_clock", "random_device", "mt19937", "mt19937_64",
+    "default_random_engine", "minstd_rand",
+};
+
+/// wall-clock: C functions banned when they appear as a call `name(`. The
+/// member-access forms `x.time`, `rec->clock` stay legal.
+constexpr std::array kWallClockCalls = {
+    "time",      "rand",          "srand",    "clock", "gettimeofday",
+    "localtime", "gmtime",        "mktime",   "strftime",
+};
+
+template <typename Table>
+bool Contains(const Table& table, const std::string& s) {
+  return std::find(table.begin(), table.end(), s) != table.end();
+}
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool InSrc(const std::string& path) { return StartsWith(path, "src/"); }
+
+bool InOutputPath(const std::string& path) {
+  for (const char* prefix : kOutputPathPrefixes) {
+    if (StartsWith(path, prefix)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Token-walk helpers.
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
+}
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kIdent && t.text == text;
+}
+
+/// Index just past the token matching the opener at `open` ("(", "[", "{").
+/// All three bracket kinds nest; returns tokens.size() when unbalanced.
+size_t SkipBalanced(const std::vector<Token>& tokens, size_t open) {
+  int paren = 0, bracket = 0, brace = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != Token::Kind::kPunct) continue;
+    if (t.text == "(") ++paren;
+    if (t.text == ")") --paren;
+    if (t.text == "[") ++bracket;
+    if (t.text == "]") --bracket;
+    if (t.text == "{") ++brace;
+    if (t.text == "}") --brace;
+    if (paren == 0 && bracket == 0 && brace == 0) return i + 1;
+  }
+  return tokens.size();
+}
+
+struct Emitter {
+  const CheckInput* in;
+  std::vector<Finding>* out;
+  void operator()(const std::string& check, int line,
+                  std::string message) const {
+    if (IsSuppressed(*in->scan, line, check)) return;
+    out->push_back(Finding{in->path, line, check, std::move(message)});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// rng-stream-discipline
+
+void CheckRngStream(const CheckInput& in, const Emitter& emit) {
+  if (!InSrc(in.path) || Contains(kRngSanctionedFiles, in.path)) return;
+  const std::vector<Token>& t = in.scan->tokens;
+  for (size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent) continue;
+    if (!Contains(kRngDrawMethods, t[i].text)) continue;
+    if (!IsPunct(t[i + 1], "(")) continue;
+    if (!IsPunct(t[i - 1], ".") && !IsPunct(t[i - 1], "->")) continue;
+    emit("rng-stream-discipline", t[i].line,
+         "Rng draw call `" + t[i].text +
+             "(...)` outside the sanctioned stream owners; a new consumer "
+             "can reorder a deterministic stream. Draw from a dedicated "
+             "substream and add the file to kRngSanctionedFiles "
+             "(tools/detlint/checks.cc) deliberately.");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// alloc-event-path
+
+void CheckAllocEventPath(const CheckInput& in, const Emitter& emit) {
+  if (!InSrc(in.path)) return;
+  const std::vector<Token>& t = in.scan->tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!IsIdent(t[i], "ScheduleAt") && !IsIdent(t[i], "ScheduleAfter")) {
+      continue;
+    }
+    if (!IsPunct(t[i + 1], "(")) continue;
+    const size_t call_end = SkipBalanced(t, i + 1);
+
+    // Find lambdas appearing directly as arguments: '[' preceded by '(' or
+    // ',' at any nesting level inside the call.
+    for (size_t j = i + 2; j < call_end; ++j) {
+      if (!IsPunct(t[j], "[")) continue;
+      if (!(IsPunct(t[j - 1], "(") || IsPunct(t[j - 1], ","))) continue;
+      size_t k = SkipBalanced(t, j);  // past the capture list
+      if (k < call_end && IsPunct(t[k], "(")) k = SkipBalanced(t, k);
+      while (k < call_end && !IsPunct(t[k], "{")) ++k;  // mutable/noexcept/->
+      if (k >= call_end) continue;
+      const size_t body_end = SkipBalanced(t, k);
+
+      for (size_t b = k + 1; b + 1 < body_end; ++b) {
+        if (t[b].kind != Token::Kind::kIdent) continue;
+        if (IsIdent(t[b], "new")) {
+          emit("alloc-event-path", t[b].line,
+               "`new` inside a lambda scheduled on the event loop; EventFn "
+               "slots are allocation-free by contract.");
+          continue;
+        }
+        if (IsIdent(t[b], "function") && b > 0 && IsPunct(t[b - 1], "::")) {
+          emit("alloc-event-path", t[b].line,
+               "std::function inside an event-loop lambda; it may heap-"
+               "allocate its target. Use EventFn or a capture.");
+          continue;
+        }
+        if (Contains(kAllocCallees, t[b].text) && IsPunct(t[b + 1], "(")) {
+          emit("alloc-event-path", t[b].line,
+               "allocating call `" + t[b].text +
+                   "(...)` inside a lambda scheduled on the event loop; the "
+                   "hot path must stay allocation-free (move the work out of "
+                   "the event or pre-reserve).");
+        }
+      }
+      j = body_end > j ? body_end - 1 : j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unordered-output
+
+std::set<std::string> CollectNames(const FileScan& scan) {
+  std::set<std::string> names;
+  const std::vector<Token>& t = scan.tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent) continue;
+    const std::string& s = t[i].text;
+    if (s != "unordered_map" && s != "unordered_set" &&
+        s != "unordered_multimap" && s != "unordered_multiset") {
+      continue;
+    }
+    size_t j = i + 1;
+    if (!IsPunct(t[j], "<")) continue;
+    int depth = 0;
+    for (; j < t.size(); ++j) {
+      if (IsPunct(t[j], "<")) ++depth;
+      if (IsPunct(t[j], ">")) {
+        if (--depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    while (j < t.size() &&
+           (IsPunct(t[j], "&") || IsPunct(t[j], "*") || IsIdent(t[j], "const"))) {
+      ++j;
+    }
+    if (j < t.size() && t[j].kind == Token::Kind::kIdent) {
+      names.insert(t[j].text);
+    }
+  }
+  return names;
+}
+
+void CheckUnorderedOutput(const CheckInput& in, const Emitter& emit) {
+  if (!InOutputPath(in.path)) return;
+  std::set<std::string> names = CollectNames(*in.scan);
+  names.insert(in.extra_unordered_names.begin(),
+               in.extra_unordered_names.end());
+
+  const std::vector<Token>& t = in.scan->tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!IsIdent(t[i], "for") || !IsPunct(t[i + 1], "(")) continue;
+    const size_t head_end = SkipBalanced(t, i + 1);
+    // Separate a range-for from a classic for: a ';' at top nesting level
+    // of the head means classic.
+    int paren = 0, bracket = 0, brace = 0;
+    size_t colon = 0;
+    bool classic = false;
+    for (size_t j = i + 1; j < head_end; ++j) {
+      if (t[j].kind != Token::Kind::kPunct) continue;
+      if (t[j].text == "(") ++paren;
+      if (t[j].text == ")") --paren;
+      if (t[j].text == "[") ++bracket;
+      if (t[j].text == "]") --bracket;
+      if (t[j].text == "{") ++brace;
+      if (t[j].text == "}") --brace;
+      const bool top = paren == 1 && bracket == 0 && brace == 0;
+      if (top && t[j].text == ";") {
+        classic = true;
+        break;
+      }
+      if (top && t[j].text == ":" && colon == 0) colon = j;
+    }
+    if (classic || colon == 0) continue;
+    for (size_t j = colon + 1; j + 1 < head_end; ++j) {
+      if (t[j].kind != Token::Kind::kIdent) continue;
+      const bool is_unordered_name = names.count(t[j].text) > 0;
+      const bool mentions_unordered =
+          t[j].text.find("unordered_") != std::string::npos;
+      if (!is_unordered_name && !mentions_unordered) continue;
+      emit("unordered-output", t[j].line,
+           "range-for over unordered container `" + t[j].text +
+               "` in a report/stats/CSV path; hash order is not part of the "
+               "byte-identity contract. Iterate a sorted copy, sort the "
+               "result before it escapes, or justify with "
+               "detlint:allow(unordered-output).");
+      break;  // one finding per loop head
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock
+
+void CheckWallClock(const CheckInput& in, const Emitter& emit) {
+  if (!InSrc(in.path)) return;  // bench/ timing code and tests are exempt
+  const std::vector<Token>& t = in.scan->tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kIdent) continue;
+    if (Contains(kWallClockIdents, t[i].text)) {
+      emit("wall-clock", t[i].line,
+           "`" + t[i].text +
+               "` is non-deterministic; simulation code must draw time from "
+               "Simulator::Now() and randomness from util::Rng. (bench/ "
+               "timing code is exempt.)");
+      continue;
+    }
+    if (!Contains(kWallClockCalls, t[i].text)) continue;
+    if (i + 1 >= t.size() || !IsPunct(t[i + 1], "(")) continue;
+    if (i > 0 && (IsPunct(t[i - 1], ".") || IsPunct(t[i - 1], "->"))) {
+      continue;  // member access named `time`/`clock` etc. is fine
+    }
+    if (i > 0 && t[i - 1].kind == Token::Kind::kIdent &&
+        t[i - 1].text != "return") {
+      continue;  // `double time() const` — a declaration, not a call
+    }
+    emit("wall-clock", t[i].line,
+         "wall-clock call `" + t[i].text +
+             "(...)`; simulation code must be replayable from the seed "
+             "alone.");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// const-cast
+
+void CheckConstCast(const CheckInput& in, const Emitter& emit) {
+  if (!InSrc(in.path)) return;
+  for (const Token& t : in.scan->tokens) {
+    if (IsIdent(t, "const_cast")) {
+      emit("const-cast", t.line,
+           "const_cast is banned in src/; use `mutable` state with a const-"
+           "correct accessor or a private non-const overload.");
+    }
+  }
+}
+
+}  // namespace
+
+std::set<std::string> CollectUnorderedNames(const FileScan& scan) {
+  return CollectNames(scan);
+}
+
+std::vector<Finding> RunChecks(const CheckInput& in) {
+  std::vector<Finding> findings;
+  const Emitter emit{&in, &findings};
+  CheckRngStream(in, emit);
+  CheckAllocEventPath(in, emit);
+  CheckUnorderedOutput(in, emit);
+  CheckWallClock(in, emit);
+  CheckConstCast(in, emit);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.check < b.check;
+            });
+  return findings;
+}
+
+}  // namespace detlint

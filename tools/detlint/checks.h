@@ -1,0 +1,70 @@
+// detlint's repo-specific checks. Each check statically enforces one
+// invariant that the goldens (tests/golden_equivalence_test.cc,
+// tests/megacell_test.cc, tests/sleeper_test.cc) can only falsify after the
+// fact:
+//
+//   rng-stream-discipline   util::Rng draw calls (NextDouble/Bernoulli/...)
+//                           are only sanctioned inside the files that own a
+//                           simulation substream; a new consumer anywhere
+//                           else could reorder a stream and silently shift
+//                           every downstream draw.
+//   alloc-event-path        a lambda handed directly to Simulator::ScheduleAt
+//                           or ScheduleAfter must not allocate in its body
+//                           (no new/make_unique/std::function/growing
+//                           container calls) — the event loop's EventFn slots
+//                           are allocation-free by contract. (The 48-byte
+//                           capture budget itself is enforced at compile time
+//                           by EventFn's static_assert.)
+//   unordered-output        no range-for over unordered_{map,set} inside the
+//                           report-building/stats/CSV paths; hash order is
+//                           not part of the byte-identity contract.
+//   wall-clock              no wall-clock or non-deterministic randomness
+//                           sources (std::chrono::system_clock, time(),
+//                           rand(), std::random_device, ...) in src/; bench/
+//                           timing code is exempt.
+//   const-cast              const_cast is banned in src/ (tests may still use
+//                           it for the argv-literals idiom).
+//
+// Suppress a deliberate, justified exception with
+// `// detlint:allow(<check>) <reason>` on or above the offending line.
+
+#ifndef MOBICACHE_TOOLS_DETLINT_CHECKS_H_
+#define MOBICACHE_TOOLS_DETLINT_CHECKS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace detlint {
+
+struct Finding {
+  std::string path;
+  int line;
+  std::string check;
+  std::string message;
+};
+
+struct CheckInput {
+  /// Repo-relative path with forward slashes ("src/core/ts.cc"); all scope
+  /// decisions key on it.
+  std::string path;
+  const FileScan* scan;
+  /// unordered_{map,set} names declared in the paired header (for .cc files
+  /// whose members live in the .h).
+  std::set<std::string> extra_unordered_names;
+};
+
+/// Names of unordered_{map,set,multimap,multiset} variables/members declared
+/// in `scan` (heuristic: type token, balanced template args, then an
+/// identifier).
+std::set<std::string> CollectUnorderedNames(const FileScan& scan);
+
+/// Runs every check that applies to `in.path` and returns the findings that
+/// survive the file's allow directives.
+std::vector<Finding> RunChecks(const CheckInput& in);
+
+}  // namespace detlint
+
+#endif  // MOBICACHE_TOOLS_DETLINT_CHECKS_H_

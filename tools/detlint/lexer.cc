@@ -1,0 +1,221 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace detlint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Extracts every `detlint:<verb>(<arg>)` directive from one comment's text
+/// and records it against `line` (the line the comment starts on).
+void ParseDirectives(const std::string& comment, int line, FileScan* scan) {
+  const std::string marker = "detlint:";
+  size_t pos = 0;
+  while ((pos = comment.find(marker, pos)) != std::string::npos) {
+    size_t verb_start = pos + marker.size();
+    size_t open = comment.find('(', verb_start);
+    if (open == std::string::npos) break;
+    size_t close = comment.find(')', open + 1);
+    if (close == std::string::npos) break;
+    const std::string verb = comment.substr(verb_start, open - verb_start);
+    const std::string arg = comment.substr(open + 1, close - open - 1);
+    if (verb == "allow") {
+      scan->allows[line].insert(arg);
+    } else if (verb == "allow-file") {
+      scan->file_allows.insert(arg);
+    } else if (verb == "expect") {
+      scan->expects[line].insert(arg);
+    } else if (verb == "pretend") {
+      scan->pretend_path = arg;
+    }
+    pos = close + 1;
+  }
+}
+
+}  // namespace
+
+FileScan Lex(const std::string& content) {
+  FileScan scan;
+  const size_t n = content.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto push = [&](Token::Kind kind, std::string text) {
+    scan.tokens.push_back(Token{kind, std::move(text), line});
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: skip to end of line, honoring continuations.
+    // (Checks operate on code, not macro definitions or include paths.)
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (content[i] == '\\' && i + 1 < n && content[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (content[i] == '\n') break;
+        ++i;
+      }
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const size_t start = i;
+      while (i < n && content[i] != '\n') ++i;
+      ParseDirectives(content.substr(start, i - start), line, &scan);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const size_t start = i;
+      const int start_line = line;
+      i += 2;
+      while (i + 1 < n && !(content[i] == '*' && content[i + 1] == '/')) {
+        if (content[i] == '\n') ++line;
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      ParseDirectives(content.substr(start, i - start), start_line, &scan);
+      continue;
+    }
+
+    // Identifier — possibly a raw-string prefix (R"..., u8R"..., LR"...).
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(content[j])) ++j;
+      std::string ident = content.substr(i, j - i);
+      if (j < n && content[j] == '"' && !ident.empty() &&
+          ident.back() == 'R' &&
+          (ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+           ident == "u8R")) {
+        // Raw string: R"delim( ... )delim"
+        size_t k = j + 1;
+        std::string delim;
+        while (k < n && content[k] != '(') delim.push_back(content[k++]);
+        const std::string closer = ")" + delim + "\"";
+        size_t end = content.find(closer, k);
+        if (end == std::string::npos) end = n;
+        for (size_t p = j; p < end && p < n; ++p) {
+          if (content[p] == '\n') ++line;
+        }
+        i = (end == n) ? n : end + closer.size();
+        push(Token::Kind::kString, "");
+        continue;
+      }
+      push(Token::Kind::kIdent, std::move(ident));
+      i = j;
+      continue;
+    }
+
+    // Number (handles hex, digit separators, exponents loosely).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(content[i + 1])) != 0)) {
+      size_t j = i;
+      while (j < n) {
+        const char d = content[j];
+        if (IsIdentChar(d) || d == '.') {
+          ++j;
+          continue;
+        }
+        if (d == '\'' && j + 1 < n && IsIdentChar(content[j + 1])) {
+          j += 2;  // digit separator
+          continue;
+        }
+        if ((d == '+' || d == '-') && j > i) {
+          const char e = content[j - 1];
+          if (e == 'e' || e == 'E' || e == 'p' || e == 'P') {
+            ++j;
+            continue;
+          }
+        }
+        break;
+      }
+      push(Token::Kind::kNumber, content.substr(i, j - i));
+      i = j;
+      continue;
+    }
+
+    // Ordinary string literal.
+    if (c == '"') {
+      ++i;
+      while (i < n && content[i] != '"') {
+        if (content[i] == '\\' && i + 1 < n) ++i;
+        if (content[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      push(Token::Kind::kString, "");
+      continue;
+    }
+    // Char literal.
+    if (c == '\'') {
+      ++i;
+      while (i < n && content[i] != '\'') {
+        if (content[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      if (i < n) ++i;
+      push(Token::Kind::kChar, "");
+      continue;
+    }
+
+    // Punctuation. `::` and `->` are joined (the checks key on them as
+    // member/scope access); everything else is a single character so
+    // template-argument depth can be balanced on lone '<' and '>'.
+    if (c == ':' && i + 1 < n && content[i + 1] == ':') {
+      push(Token::Kind::kPunct, "::");
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && content[i + 1] == '>') {
+      push(Token::Kind::kPunct, "->");
+      i += 2;
+      continue;
+    }
+    push(Token::Kind::kPunct, std::string(1, c));
+    ++i;
+  }
+  return scan;
+}
+
+bool IsSuppressed(const FileScan& scan, int line, const std::string& check) {
+  if (scan.file_allows.count(check) > 0 || scan.file_allows.count("*") > 0) {
+    return true;
+  }
+  for (int l : {line, line - 1}) {
+    auto it = scan.allows.find(l);
+    if (it != scan.allows.end() &&
+        (it->second.count(check) > 0 || it->second.count("*") > 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace detlint

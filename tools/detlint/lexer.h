@@ -1,0 +1,61 @@
+// Lightweight C++ token scanner for detlint. Not a compiler front end: it
+// tokenizes one translation unit's *text* — skipping comments, string/char
+// literals (including raw strings) and preprocessor directives — precisely
+// enough for the repo-specific pattern checks in checks.h to walk call
+// sites, lambda bodies and range-for statements without false hits inside
+// literals or documentation.
+//
+// The scanner also collects detlint's comment directives:
+//
+//   // detlint:allow(<check>)       suppress <check> on this and the next line
+//   // detlint:allow-file(<check>)  suppress <check> for the whole file
+//   // detlint:expect(<check>)      self-test: a finding of <check> MUST fire
+//                                   on this line (fixture files only)
+//   // detlint:pretend(<path>)      self-test: scope checks as if the file
+//                                   lived at <path> (fixture files only)
+//
+// `<check>` may be `*` in allow directives to suppress every check.
+
+#ifndef MOBICACHE_TOOLS_DETLINT_LEXER_H_
+#define MOBICACHE_TOOLS_DETLINT_LEXER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kString, kChar };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+/// One scanned file: its token stream plus the directives found in comments.
+struct FileScan {
+  std::vector<Token> tokens;
+  /// line -> check names suppressed on that line ("*" = all). An allow
+  /// comment covers its own line and the following line, so it can sit
+  /// either beside the code or on its own line above it.
+  std::map<int, std::set<std::string>> allows;
+  /// line -> check names a self-test fixture expects to fire on that line.
+  std::map<int, std::set<std::string>> expects;
+  /// Checks suppressed for the whole file.
+  std::set<std::string> file_allows;
+  /// Non-empty when the file carries a detlint:pretend(<path>) directive.
+  std::string pretend_path;
+};
+
+/// Tokenizes `content` (the bytes of one source file).
+FileScan Lex(const std::string& content);
+
+/// True when `scan` suppresses `check` on `line` (directly, via the
+/// preceding line's allow comment, or file-wide).
+bool IsSuppressed(const FileScan& scan, int line, const std::string& check);
+
+}  // namespace detlint
+
+#endif  // MOBICACHE_TOOLS_DETLINT_LEXER_H_

@@ -1,0 +1,243 @@
+// detlint — static enforcement of mobicache's determinism and hot-path
+// invariants (see checks.h for the check catalogue).
+//
+// Usage:
+//   detlint [--root=DIR] [--compdb=compile_commands.json] [paths...]
+//   detlint --self-test FIXTURE_DIR
+//
+// Paths may be files or directories (recursed for *.cc / *.h). With
+// --compdb, the translation units listed in the compilation database are
+// linted (plus any explicit paths). Scope rules key on the path relative to
+// --root (default: the current directory), so run it from the repo root or
+// pass --root. Exit status: 0 = clean, 1 = findings, 2 = usage/IO error.
+//
+// --self-test runs every check over the fixture corpus in
+// tools/detlint_test_data/: each fixture declares the path it pretends to
+// live at (detlint:pretend) and the findings it must provoke
+// (detlint:expect). The self-test fails on any missing or unexpected
+// finding, so the linter itself is regression-tested.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.h"
+#include "lexer.h"
+
+namespace detlint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+std::string Slashed(std::string s) {
+  std::replace(s.begin(), s.end(), '\\', '/');
+  return s;
+}
+
+/// Path relative to `root` with forward slashes; unchanged (but normalized)
+/// when it does not live under `root`.
+std::string RelativeTo(const fs::path& root, const fs::path& path) {
+  std::error_code ec;
+  const fs::path abs = fs::weakly_canonical(path, ec);
+  const fs::path abs_root = fs::weakly_canonical(root, ec);
+  const fs::path rel = abs.lexically_relative(abs_root);
+  if (rel.empty() || *rel.begin() == "..") {
+    return Slashed(path.lexically_normal().string());
+  }
+  return Slashed(rel.string());
+}
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+void GatherFiles(const fs::path& path, std::vector<fs::path>* out) {
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (auto it = fs::recursive_directory_iterator(path, ec);
+         it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (it->is_regular_file(ec) && IsSourceFile(it->path())) {
+        out->push_back(it->path());
+      }
+    }
+  } else {
+    out->push_back(path);
+  }
+}
+
+/// Extracts the "file" entries of a compile_commands.json without a JSON
+/// library; the format CMake emits is regular enough for a textual scan.
+bool GatherFromCompdb(const fs::path& compdb, std::vector<fs::path>* out) {
+  std::string content;
+  if (!ReadFile(compdb, &content)) return false;
+  const std::string key = "\"file\":";
+  size_t pos = 0;
+  while ((pos = content.find(key, pos)) != std::string::npos) {
+    size_t open = content.find('"', pos + key.size());
+    if (open == std::string::npos) break;
+    size_t close = content.find('"', open + 1);
+    if (close == std::string::npos) break;
+    out->push_back(fs::path(content.substr(open + 1, close - open - 1)));
+    pos = close + 1;
+  }
+  return true;
+}
+
+/// Lints one file; returns its findings (empty vector when clean).
+std::vector<Finding> LintFile(const fs::path& root, const fs::path& file,
+                              const FileScan& scan) {
+  CheckInput in;
+  in.path = scan.pretend_path.empty() ? RelativeTo(root, file)
+                                      : scan.pretend_path;
+  in.scan = &scan;
+  // Members of a .cc's class usually live in the paired header; pick up its
+  // unordered-container names so range-fors over members are caught too.
+  fs::path header = file;
+  if (header.extension() == ".cc") {
+    header.replace_extension(".h");
+    std::string content;
+    if (ReadFile(header, &content)) {
+      in.extra_unordered_names = CollectUnorderedNames(Lex(content));
+    }
+  }
+  return RunChecks(in);
+}
+
+int RunLint(const fs::path& root, const std::vector<fs::path>& files) {
+  size_t total = 0;
+  std::set<std::string> seen;  // dedupe (compdb + explicit path overlap)
+  for (const fs::path& file : files) {
+    const std::string key = Slashed(fs::weakly_canonical(file).string());
+    if (!seen.insert(key).second) continue;
+    std::string content;
+    if (!ReadFile(file, &content)) {
+      std::fprintf(stderr, "detlint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    const FileScan scan = Lex(content);
+    for (const Finding& f : LintFile(root, file, scan)) {
+      std::printf("%s:%d: error: %s [detlint-%s]\n", f.path.c_str(), f.line,
+                  f.message.c_str(), f.check.c_str());
+      ++total;
+    }
+  }
+  if (total > 0) {
+    std::printf("detlint: %zu finding(s)\n", total);
+    return 1;
+  }
+  return 0;
+}
+
+int RunSelfTest(const fs::path& data_dir) {
+  std::vector<fs::path> files;
+  GatherFiles(data_dir, &files);
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "detlint: no fixtures under %s\n", data_dir.c_str());
+    return 2;
+  }
+  int failures = 0;
+  for (const fs::path& file : files) {
+    std::string content;
+    if (!ReadFile(file, &content)) {
+      std::fprintf(stderr, "detlint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    const FileScan scan = Lex(content);
+    const std::vector<Finding> findings = LintFile(data_dir, file, scan);
+
+    // Every finding must be expected; every expectation must fire.
+    std::set<std::pair<int, std::string>> satisfied;
+    for (const Finding& f : findings) {
+      auto it = scan.expects.find(f.line);
+      if (it != scan.expects.end() && it->second.count(f.check) > 0) {
+        satisfied.insert({f.line, f.check});
+        continue;
+      }
+      std::printf("FAIL %s:%d: unexpected finding [detlint-%s] %s\n",
+                  file.filename().c_str(), f.line, f.check.c_str(),
+                  f.message.c_str());
+      ++failures;
+    }
+    for (const auto& [line, checks] : scan.expects) {
+      for (const std::string& check : checks) {
+        if (satisfied.count({line, check}) > 0) continue;
+        std::printf("FAIL %s:%d: expected [detlint-%s] did not fire\n",
+                    file.filename().c_str(), line, check.c_str());
+        ++failures;
+      }
+    }
+  }
+  if (failures > 0) {
+    std::printf("detlint self-test: %d failure(s) over %zu fixture(s)\n",
+                failures, files.size());
+    return 1;
+  }
+  std::printf("detlint self-test: %zu fixture(s) OK\n", files.size());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<fs::path> files;
+  bool self_test = false;
+  fs::path self_test_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = fs::path(arg.substr(7));
+    } else if (arg.rfind("--compdb=", 0) == 0) {
+      if (!GatherFromCompdb(fs::path(arg.substr(9)), &files)) {
+        std::fprintf(stderr, "detlint: cannot read compdb %s\n",
+                     arg.substr(9).c_str());
+        return 2;
+      }
+    } else if (arg == "--self-test") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "detlint: --self-test needs a fixture dir\n");
+        return 2;
+      }
+      self_test = true;
+      self_test_dir = fs::path(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: detlint [--root=DIR] [--compdb=compile_commands.json] "
+          "[paths...]\n       detlint --self-test FIXTURE_DIR\n");
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "detlint: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      GatherFiles(fs::path(arg), &files);
+    }
+  }
+
+  if (self_test) return RunSelfTest(self_test_dir);
+  if (files.empty()) {
+    std::fprintf(stderr, "detlint: no input files (see --help)\n");
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+  return RunLint(root, files);
+}
+
+}  // namespace
+}  // namespace detlint
+
+int main(int argc, char** argv) { return detlint::Main(argc, argv); }

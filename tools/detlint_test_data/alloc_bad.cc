@@ -1,0 +1,32 @@
+// Fixture: alloc-event-path. Lambdas handed directly to
+// Simulator::ScheduleAt / ScheduleAfter must not allocate in their bodies;
+// the same calls outside an event lambda are legal.
+// detlint:pretend(src/exp/alloc_bad.cc)
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace mobicache {
+
+void BadEvents(sim::Simulator& sim, std::vector<int>& log) {
+  sim.ScheduleAt(1.0, [&log] {
+    log.push_back(42);  // detlint:expect(alloc-event-path)
+  });
+  sim.ScheduleAfter(0.5, [] {
+    int* leak = new int(7);  // detlint:expect(alloc-event-path)
+    *leak = 8;
+  });
+  sim.ScheduleAt(3.0, [] {
+    std::function<void()> f;  // detlint:expect(alloc-event-path)
+    (void)f;
+  });
+}
+
+void GoodEvents(sim::Simulator& sim, std::vector<int>& log, int* counter) {
+  log.push_back(1);  // allocation outside an event lambda is fine
+  sim.ScheduleAt(2.0, [counter] { *counter += 1; });
+}
+
+}  // namespace mobicache

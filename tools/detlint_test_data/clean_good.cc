@@ -1,0 +1,43 @@
+// Fixture: near-miss patterns that must stay CLEAN. This file carries no
+// expect directives, so the self-test fails if any check false-positives
+// on it.
+// detlint:pretend(src/exp/clean_good.cc)
+
+#include <map>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace mobicache {
+
+// A free function named like an Rng draw method is not a stream draw (only
+// `.`/`->` member calls count).
+double Sample(double x) { return x * 0.5; }
+
+struct Config {
+  double time_scale = 1.0;
+  // Members named `time`/`clock` are legal; only free calls are flagged.
+  double time() const { return time_scale; }
+};
+
+double UseConfig(const Config& cfg) { return Sample(cfg.time()); }
+
+void ScheduleOk(sim::Simulator& sim, int* counter) {
+  sim.ScheduleAt(1.0, [counter] { *counter += 1; });
+}
+
+double OrderedIteration(const std::map<int, double>& per_item) {
+  double sum = 0.0;
+  for (const auto& [id, v] : per_item) sum += v + id;  // std::map is ordered
+  return sum;
+}
+
+void ClassicLoop(std::vector<int>* out) {
+  for (size_t i = 0; i < out->size(); ++i) (*out)[i] += 1;
+}
+
+// The string and comment below must not trip the lexer or the checks:
+// "rng.NextDouble()" in prose, const_cast in prose, time( in prose.
+const char* kDoc = "call rng.NextDouble() or const_cast or time(nullptr)";
+
+}  // namespace mobicache

@@ -1,0 +1,15 @@
+// Fixture: const-cast. const_cast is banned anywhere in src/ (the exact
+// pattern PR 5 removed from src/core/coherency.cc).
+// detlint:pretend(src/core/constcast_bad.cc)
+
+namespace mobicache {
+
+struct Tracker {
+  int hits = 0;
+  int Touch() { return ++hits; }
+  int Peek() const {
+    return const_cast<Tracker*>(this)->Touch();  // detlint:expect(const-cast)
+  }
+};
+
+}  // namespace mobicache

@@ -1,0 +1,23 @@
+// Fixture: rng-stream-discipline. Pretends to live in a src/ file that is
+// not in kRngSanctionedFiles, so member-style draw calls must be flagged
+// while a suppressed draw stays silent.
+// detlint:pretend(src/core/rng_bad.cc)
+
+#include "util/random.h"
+
+namespace mobicache {
+
+double UnsanctionedDraw(util::Rng& rng) {
+  double u = rng.NextDouble();  // detlint:expect(rng-stream-discipline)
+  if (rng.Bernoulli(0.5)) {     // detlint:expect(rng-stream-discipline)
+    u += 1.0;
+  }
+  return u;
+}
+
+double SuppressedDraw(util::Rng* rng) {
+  // detlint:allow(rng-stream-discipline) fixture: directive must suppress
+  return rng->Exponential(2.0);
+}
+
+}  // namespace mobicache

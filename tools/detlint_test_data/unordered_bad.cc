@@ -1,0 +1,44 @@
+// Fixture: unordered-output. Range-for over unordered containers is flagged
+// in report/stats/CSV paths (the pretend path is under src/exp/); classic
+// index loops and ordered containers stay silent, and a sorted-after loop
+// can be justified with an allow directive.
+// detlint:pretend(src/exp/unordered_bad.cc)
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mobicache {
+
+struct WindowStats {
+  std::unordered_map<int, double> per_item;
+  std::unordered_set<int> dirty;
+};
+
+double EmitCsv(const WindowStats& stats, std::vector<double>* rows) {
+  double sum = 0.0;
+  for (const auto& [id, v] : stats.per_item) {  // detlint:expect(unordered-output)
+    rows->push_back(v);
+    sum += v + id;
+  }
+  for (int id : stats.dirty) {  // detlint:expect(unordered-output)
+    sum += id;
+  }
+  for (size_t i = 0; i < rows->size(); ++i) {  // classic loop: fine
+    sum += (*rows)[i];
+  }
+  return sum;
+}
+
+double SortedAfter(const WindowStats& stats) {
+  std::vector<double> vals;
+  // detlint:allow(unordered-output) values are sorted before they escape
+  for (const auto& [id, v] : stats.per_item) {
+    vals.push_back(v + id);
+  }
+  std::sort(vals.begin(), vals.end());
+  return vals.empty() ? 0.0 : vals.front();
+}
+
+}  // namespace mobicache

@@ -1,0 +1,33 @@
+// Fixture: wall-clock. Non-deterministic time/randomness sources are banned
+// in src/; member accesses that merely *name* `time` or `clock` are exempt.
+// detlint:pretend(src/sim/wallclock_bad.cc)
+
+#include <chrono>
+#include <ctime>
+#include <random>
+
+namespace mobicache {
+
+double BadWallClock() {
+  auto now = std::chrono::system_clock::now();  // detlint:expect(wall-clock)
+  (void)now;
+  return static_cast<double>(time(nullptr));  // detlint:expect(wall-clock)
+}
+
+unsigned BadEntropy() {
+  std::random_device rd;    // detlint:expect(wall-clock)
+  std::mt19937 gen(rd());   // detlint:expect(wall-clock)
+  return gen();
+}
+
+struct Record {
+  double time_value = 0.0;
+  double time() const { return time_value; }
+  double clock() const { return time_value * 2.0; }
+};
+
+double MemberAccessIsFine(const Record& rec) {
+  return rec.time() + rec.clock();
+}
+
+}  // namespace mobicache

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Incremental clang-tidy: skips translation units that already hashed clean.
+#
+# The cache key of a TU is sha256 over everything that can change its tidy
+# verdict: the clang-tidy version, .clang-tidy, the TU itself, and every repo
+# header its compiler dependency scan reports. A clean run drops an empty
+# marker file named by the key into the cache dir, so re-running after an
+# unrelated edit only lints the TUs whose inputs actually changed. CI
+# persists the cache dir across runs with actions/cache.
+#
+# Usage: tools/lint/run_tidy_cached.sh [BUILD_DIR] [FILES...]
+#   BUILD_DIR  directory holding compile_commands.json (default: build)
+#   FILES      TUs to lint (default: every .cc under src/ and tools/detlint/)
+# Env: TIDY_CACHE_DIR (default .tidy-cache), CLANG_TIDY (default clang-tidy).
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/../.."
+BUILD_DIR=${1:-build}
+[ "$#" -gt 0 ] && shift
+CACHE_DIR=${TIDY_CACHE_DIR:-.tidy-cache}
+TIDY=${CLANG_TIDY:-clang-tidy}
+mkdir -p "$CACHE_DIR"
+
+if ! command -v "$TIDY" > /dev/null 2>&1; then
+  echo "error: $TIDY not found" >&2
+  exit 2
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "error: $BUILD_DIR/compile_commands.json missing;" \
+       "configure with cmake first (CMAKE_EXPORT_COMPILE_COMMANDS is on)" >&2
+  exit 2
+fi
+
+if [ "$#" -gt 0 ]; then
+  files=("$@")
+else
+  mapfile -t files < <(find src tools/detlint -name '*.cc' | sort)
+fi
+
+version=$("$TIDY" --version | tr -d '\n')
+failures=0 skipped=0 linted=0
+for f in "${files[@]}"; do
+  # Repo headers the TU pulls in (-MM omits system headers).
+  deps=$(g++ -std=c++20 -Isrc -MM "$f" 2> /dev/null |
+         sed -e 's/\\$//' | tr -d '\n' | cut -d: -f2-)
+  key=$({ echo "$version"
+          cat .clang-tidy "$f" $deps 2> /dev/null
+        } | sha256sum | cut -d' ' -f1)
+  if [ -f "$CACHE_DIR/$key" ]; then
+    skipped=$((skipped + 1))
+    continue
+  fi
+  if "$TIDY" -p "$BUILD_DIR" --quiet "$f"; then
+    : > "$CACHE_DIR/$key"
+    linted=$((linted + 1))
+  else
+    failures=$((failures + 1))
+  fi
+done
+
+echo "clang-tidy: $linted linted, $skipped cached-clean, $failures failing"
+[ "$failures" -eq 0 ]
