@@ -79,6 +79,14 @@ BenchRecord MakeBenchRecord(const std::string& name,
     BenchRecord::Breakdown b;
     b.label = std::string(StrategyName(t.kind)) + "@x=" + Num(t.x);
     b.seconds = t.wall_seconds;
+    b.server_seconds = t.server_seconds;
+    b.shard_seconds = t.shard_seconds;
+    b.replay_seconds = t.replay_seconds;
+    b.replay_records = t.replay_records;
+    record.server_seconds += t.server_seconds;
+    record.shard_seconds += t.shard_seconds;
+    record.replay_seconds += t.replay_seconds;
+    record.replay_records += t.replay_records;
     record.breakdown.push_back(std::move(b));
   }
   return record;
@@ -105,11 +113,20 @@ std::string BenchRecordToJson(const BenchRecord& r) {
   os << ",\n  \"seed\": " << r.seed;
   os << ",\n  \"simulate\": " << (r.simulate ? "true" : "false");
   os << ",\n  \"shards\": " << r.shards;
+  os << ",\n  \"server_seconds\": " << Num(r.server_seconds);
+  os << ",\n  \"shard_seconds\": " << Num(r.shard_seconds);
+  os << ",\n  \"replay_seconds\": " << Num(r.replay_seconds);
+  os << ",\n  \"replay_records\": " << r.replay_records;
   os << ",\n  \"breakdown\": [";
   for (size_t i = 0; i < r.breakdown.size(); ++i) {
+    const BenchRecord::Breakdown& b = r.breakdown[i];
     os << (i == 0 ? "\n" : ",\n") << "    {\"label\": ";
-    AppendEscaped(r.breakdown[i].label, os);
-    os << ", \"seconds\": " << Num(r.breakdown[i].seconds) << "}";
+    AppendEscaped(b.label, os);
+    os << ", \"seconds\": " << Num(b.seconds);
+    os << ", \"server_seconds\": " << Num(b.server_seconds);
+    os << ", \"shard_seconds\": " << Num(b.shard_seconds);
+    os << ", \"replay_seconds\": " << Num(b.replay_seconds);
+    os << ", \"replay_records\": " << b.replay_records << "}";
   }
   os << (r.breakdown.empty() ? "]" : "\n  ]");
   os << "\n}\n";

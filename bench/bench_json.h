@@ -40,12 +40,29 @@ struct BenchRecord {
   /// Intra-cell shards per simulated cell (SweepOptions::shards).
   int shards = 1;
 
+  // Per-phase wall shares, summed across the simulated cells (see
+  // exp/megacell.h for the phase definitions): the serial server phases,
+  // the parallel shard phases' critical path, and the barrier
+  // replay-merges. server + shard + replay approximates wall_seconds minus
+  // build time when cells run serially. replay_records counts the log
+  // records the barriers merged.
+  double server_seconds = 0.0;
+  double shard_seconds = 0.0;
+  double replay_seconds = 0.0;
+  uint64_t replay_records = 0;
+
   /// Optional wall-time breakdown: one labelled timing per simulated cell
   /// (sweep benches label by "<strategy>@x=<point>") or per shard/phase
   /// (the megacell bench). Deterministic order; empty when not recorded.
+  /// Sweep-bench entries carry the cell's per-phase split alongside its
+  /// total (phase fields are zero for breakdowns that predate them).
   struct Breakdown {
     std::string label;
     double seconds = 0.0;
+    double server_seconds = 0.0;
+    double shard_seconds = 0.0;
+    double replay_seconds = 0.0;
+    uint64_t replay_records = 0;
   };
   std::vector<Breakdown> breakdown;
 };

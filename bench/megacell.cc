@@ -3,8 +3,9 @@
 // across decades and the shard count across {1, 2, 4, ...}, verifying on the
 // way that every shard count reproduces the shards=1 integer counters, and
 // emits BENCH_megacell.json with per-run wall time, events/sec, the
-// serial-phase (server + barrier replay) time, and the per-shard wall-time
-// breakdown.
+// per-phase walls (server, shard critical path, barrier replay-merge — plus
+// the replay's share of the run, the number the loser-tree merge targets),
+// and the per-shard wall-time breakdown.
 //
 // The ISSUE's speedup criterion (>= 3x at shards=4 vs shards=1) applies to
 // hosts with >= 4 hardware threads; the record always stores
@@ -39,6 +40,13 @@ struct RunRecord {
   uint64_t sim_events = 0;
   double events_per_sec = 0.0;
   double server_wall_seconds = 0.0;
+  double shard_phase_wall_seconds = 0.0;
+  double replay_wall_seconds = 0.0;
+  uint64_t replay_records = 0;
+  /// replay_wall_seconds / run_seconds: how much of the run the barrier
+  /// replay-merge cost, which is exactly what the loser-tree + pre-merge
+  /// work is meant to shrink.
+  double replay_share = 0.0;
   std::vector<double> shard_wall_seconds;
   double hit_ratio = 0.0;
   uint64_t queries_answered = 0;
@@ -153,6 +161,10 @@ void WriteJson(const BenchArgs& args, const std::vector<RunRecord>& runs,
        << ", \"sim_events\": " << r.sim_events
        << ", \"events_per_sec\": " << Num(r.events_per_sec)
        << ", \"server_wall_seconds\": " << Num(r.server_wall_seconds)
+       << ", \"shard_phase_wall_seconds\": " << Num(r.shard_phase_wall_seconds)
+       << ", \"replay_wall_seconds\": " << Num(r.replay_wall_seconds)
+       << ", \"replay_records\": " << r.replay_records
+       << ", \"replay_share\": " << Num(r.replay_share)
        << ", \"shard_wall_seconds\": [";
     for (size_t s = 0; s < r.shard_wall_seconds.size(); ++s) {
       os << (s == 0 ? "" : ", ") << Num(r.shard_wall_seconds[s]);
@@ -214,6 +226,12 @@ int Main(int argc, char** argv) {
                                      rec.run_seconds
                                : 0.0;
       rec.server_wall_seconds = cell.server_wall_seconds();
+      rec.shard_phase_wall_seconds = cell.shard_phase_wall_seconds();
+      rec.replay_wall_seconds = cell.replay_wall_seconds();
+      rec.replay_records = cell.replay_records();
+      rec.replay_share = rec.run_seconds > 0.0
+                             ? rec.replay_wall_seconds / rec.run_seconds
+                             : 0.0;
       for (const MegaCellShardStats& ss : cell.shard_stats()) {
         rec.shard_wall_seconds.push_back(ss.wall_seconds);
       }
@@ -247,10 +265,11 @@ int Main(int argc, char** argv) {
       }
       std::printf(
           "units=%-8llu shards=%-2u build %6.2fs  run %7.2fs  %.3g events/s  "
-          "server %6.2fs  speedup %.2fx  h=%.4f%s\n",
+          "server %6.2fs  replay %4.1f%%  speedup %.2fx  h=%.4f%s\n",
           static_cast<unsigned long long>(units), rec.shards,
           rec.build_seconds, rec.run_seconds, rec.events_per_sec,
-          rec.server_wall_seconds, rec.speedup_vs_shards1, rec.hit_ratio,
+          rec.server_wall_seconds, 100.0 * rec.replay_share,
+          rec.speedup_vs_shards1, rec.hit_ratio,
           rec.matches_shards1 ? "" : "  [MISMATCH]");
       std::fflush(stdout);
       runs.push_back(std::move(rec));

@@ -16,6 +16,7 @@
 #include "db/database.h"
 #include "sig/signature.h"
 #include "sim/simulator.h"
+#include "util/merge.h"
 #include "util/random.h"
 
 namespace mobicache {
@@ -333,6 +334,98 @@ void BM_DatabaseUpdatedInBucketed(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DatabaseUpdatedInBucketed)->Arg(10)->Arg(50);
+
+// Same bucketed query through the out-param overload with a reused buffer
+// (how TsServerStrategy::BuildReport and the replay-side consumers call it):
+// measures the query without the per-call vector allocation.
+void BM_DatabaseUpdatedInReused(benchmark::State& state) {
+  Database db(1u << 16, 1);
+  db.SetJournalBucketWidth(10.0);
+  FillJournal(&db);
+  const double window = static_cast<double>(state.range(0));
+  std::vector<UpdatedItem> out;
+  for (auto _ : state) {
+    db.UpdatedIn(100.0 - window, 100.0, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DatabaseUpdatedInReused)->Arg(10)->Arg(50);
+
+// ---------------------------------------------------------------------------
+// Barrier replay selectors: the naive scan-every-source merge the replay
+// used to run vs the loser tree that replaced it (util/merge.h). Arg is the
+// number of time-sorted sources (shard logs); records are pre-generated so
+// both selectors merge identical inputs.
+
+std::vector<std::vector<double>> MergeSources(size_t k) {
+  std::vector<std::vector<double>> sources(k);
+  Rng rng(11);
+  for (auto& src : sources) {
+    src.resize(100000 / k);
+    double t = 0.0;
+    // Coarse grid: frequent cross-source ties, like simultaneous interval
+    // ticks across shards.
+    for (double& key : src) {
+      t += 0.01 * static_cast<double>(rng.NextUint64(8));
+      key = t;
+    }
+  }
+  return sources;
+}
+
+void BM_KWayMergeLinearScan(benchmark::State& state) {
+  const auto sources = MergeSources(static_cast<size_t>(state.range(0)));
+  std::vector<size_t> cursor(sources.size());
+  uint64_t merged = 0;
+  for (auto _ : state) {
+    cursor.assign(sources.size(), 0);
+    double sum = 0.0;
+    for (;;) {
+      size_t best = sources.size();
+      for (size_t r = 0; r < sources.size(); ++r) {
+        if (cursor[r] >= sources[r].size()) continue;
+        if (best == sources.size() ||
+            sources[r][cursor[r]] < sources[best][cursor[best]]) {
+          best = r;
+        }
+      }
+      if (best == sources.size()) break;
+      sum += sources[best][cursor[best]];
+      ++cursor[best];
+      ++merged;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(merged));
+}
+BENCHMARK(BM_KWayMergeLinearScan)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_KWayMergeLoserTree(benchmark::State& state) {
+  const auto sources = MergeSources(static_cast<size_t>(state.range(0)));
+  std::vector<size_t> cursor(sources.size());
+  LoserTreeMerger merger;
+  uint64_t merged = 0;
+  for (auto _ : state) {
+    cursor.assign(sources.size(), 0);
+    merger.Reset(sources.size());
+    for (size_t r = 0; r < sources.size(); ++r) {
+      if (!sources[r].empty()) merger.SetHead(r, sources[r][0]);
+    }
+    merger.Build();
+    double sum = 0.0;
+    while (!merger.exhausted()) {
+      const size_t r = merger.top();
+      sum += merger.top_key();
+      ++merged;
+      const size_t next = ++cursor[r];
+      merger.Advance(next < sources[r].size() ? sources[r][next]
+                                              : LoserTreeMerger::kExhausted);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(merged));
+}
+BENCHMARK(BM_KWayMergeLoserTree)->Arg(2)->Arg(8)->Arg(32);
 
 // ---------------------------------------------------------------------------
 // Combined signatures: full recompute from the database (what an on-demand

@@ -53,7 +53,7 @@ void QuasiAtServerStrategy::OnUplinkQuery(const UplinkQueryInfo& info) {
     ob.eligible_at =
         static_cast<uint64_t>(std::floor(info.time / latency_)) +
         alpha_intervals_;
-    ob.last_included_version = db_->Get(info.id).version;
+    ob.last_included_version = db_->VersionOf(info.id);
   }
   // Later fetches inherit the earlier (stricter) obligation: the oldest
   // outstanding copy governs the reporting deadline.
@@ -77,7 +77,7 @@ Report QuasiAtServerStrategy::BuildReport(SimTime now, uint64_t interval) {
 
   for (ItemId id : candidates) {
     ItemObligation& ob = obligations_[id];
-    const bool changed = db_->Get(id).version > ob.last_included_version;
+    const bool changed = db_->VersionOf(id) > ob.last_included_version;
     if (!changed) {
       pending_.erase(id);
       continue;
@@ -86,12 +86,12 @@ Report QuasiAtServerStrategy::BuildReport(SimTime now, uint64_t interval) {
       // No client holds a copy: nothing to invalidate; a future fetch gets
       // the fresh value anyway.
       pending_.erase(id);
-      ob.last_included_version = db_->Get(id).version;
+      ob.last_included_version = db_->VersionOf(id);
       continue;
     }
     if (interval >= ob.eligible_at) {
       report.ids.push_back(id);
-      ob.last_included_version = db_->Get(id).version;
+      ob.last_included_version = db_->VersionOf(id);
       // Inclusion invalidates every copy (awake clients drop it now;
       // sleepers drop their whole cache on waking), so the slate is clean.
       ob.has_outstanding = false;
@@ -158,7 +158,7 @@ ArithmeticAtServerStrategy::ArithmeticAtServerStrategy(const Database* db,
 ArithmeticAtServerStrategy::ItemDrift& ArithmeticAtServerStrategy::Track(
     ItemId id) const {
   ItemDrift& d = drift_[id];
-  const uint64_t current = db_->Get(id).version;
+  const uint64_t current = db_->VersionOf(id);
   if (current > d.version) {
     d.numeric = walk_->Advance(id, d.version, current, d.numeric);
     d.version = current;

@@ -57,7 +57,7 @@ Report HybridSigServerStrategy::BuildReport(SimTime now, uint64_t interval) {
     for (ItemId id : dirty_ids_) {
       dirty_flags_[id] = 0;
       if (std::binary_search(hot_set_.begin(), hot_set_.end(), id)) {
-        if (db_->Get(id).last_update > now - latency_) {
+        if (db_->LastUpdateOf(id) > now - latency_) {
           report.hot_ids.push_back(id);
         }
       } else {

@@ -28,23 +28,24 @@ Report TsServerStrategy::BuildReport(SimTime now, uint64_t interval) {
     // the window, splice in the one-interval delta, let fresher delta
     // entries supersede stale carried ones. Both inputs are id-sorted, so a
     // single merge yields the id-sorted result UpdatedIn would have built.
-    const std::vector<UpdatedItem> delta = db_->UpdatedIn(prev_now_, now);
-    report.entries.reserve(prev_entries_.size() + delta.size());
-    auto d = delta.begin();
+    db_->UpdatedIn(prev_now_, now, &delta_scratch_);
+    report.entries.reserve(prev_entries_.size() + delta_scratch_.size());
+    auto d = delta_scratch_.begin();
     for (const TsReportEntry& e : prev_entries_) {
-      while (d != delta.end() && d->id < e.id) {
+      while (d != delta_scratch_.end() && d->id < e.id) {
         report.entries.push_back(TsReportEntry{d->id, d->updated_at});
         ++d;
       }
-      if (d != delta.end() && d->id == e.id) continue;  // superseded
-      if (e.updated_at <= lo) continue;                 // aged out of w
+      if (d != delta_scratch_.end() && d->id == e.id) continue;  // superseded
+      if (e.updated_at <= lo) continue;  // aged out of w
       report.entries.push_back(e);
     }
-    for (; d != delta.end(); ++d) {
+    for (; d != delta_scratch_.end(); ++d) {
       report.entries.push_back(TsReportEntry{d->id, d->updated_at});
     }
   } else {
-    for (const UpdatedItem& item : db_->UpdatedIn(lo, now)) {
+    db_->UpdatedIn(lo, now, &delta_scratch_);
+    for (const UpdatedItem& item : delta_scratch_) {
       report.entries.push_back(TsReportEntry{item.id, item.updated_at});
     }
   }

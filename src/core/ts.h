@@ -42,6 +42,9 @@ class TsServerStrategy : public ServerStrategy {
   uint64_t prev_interval_ = 0;
   SimTime prev_now_ = 0.0;
   std::vector<TsReportEntry> prev_entries_;
+  // Scratch for Database::UpdatedIn, reused across reports so the steady
+  // state builds every report without a fresh delta allocation.
+  std::vector<UpdatedItem> delta_scratch_;
 };
 
 /// TS client half: implements the §3.1 client algorithm.

@@ -3,10 +3,37 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <new>
+#include <utility>
 
 #include "util/random.h"
 
 namespace mobicache {
+
+namespace {
+
+/// Lines of slack the digest walk prefetches ahead of the filter cursor —
+/// far enough to cover a memory round-trip at 4 digest entries per step,
+/// near enough that the line is still resident when the cursor arrives.
+constexpr size_t kDigestPrefetchDistance = 8;
+
+/// Recycled bucket storages kept around after pruning. Steady state churns
+/// one bucket per interval; a few spares also absorb the occasional prune
+/// burst without growing the free list unboundedly.
+constexpr size_t kMaxSpareBuckets = 4;
+
+/// First index in the ascending `times` with times[i] > t (vector-wide
+/// upper bound), as an index rather than an iterator.
+size_t FirstAfter(const std::vector<SimTime>& times, SimTime t) {
+  return static_cast<size_t>(
+      std::upper_bound(times.begin(), times.end(), t) - times.begin());
+}
+
+bool ByItemId(const UpdatedItem& a, const UpdatedItem& b) {
+  return a.id < b.id;
+}
+
+}  // namespace
 
 uint64_t SyntheticValue(uint64_t seed, ItemId id, uint64_t version) {
   uint64_t state = seed ^ (0x9E3779B97F4A7C15ULL * (id + 1)) ^
@@ -14,12 +41,18 @@ uint64_t SyntheticValue(uint64_t seed, ItemId id, uint64_t version) {
   return SplitMix64(&state);
 }
 
-Database::Database(uint64_t n, uint64_t seed) : seed_(seed) {
+Database::Database(uint64_t n, uint64_t seed) : n_(n), seed_(seed) {
   assert(n >= 1);
-  items_.resize(n);
-  for (uint64_t i = 0; i < n; ++i) {
-    items_[i].value = SyntheticValue(seed_, static_cast<ItemId>(i), 0);
-  }
+  // 64-byte-aligned slab; HotItem is 16 bytes, so records tile cache lines
+  // exactly. Values are derived on demand, so no per-item initialization
+  // pass is needed — construction is O(1) beyond zeroing the slab.
+  hot_ = static_cast<HotItem*>(
+      ::operator new(n * sizeof(HotItem), std::align_val_t{64}));
+  for (uint64_t i = 0; i < n; ++i) new (hot_ + i) HotItem();
+}
+
+Database::~Database() {
+  ::operator delete(hot_, std::align_val_t{64});
 }
 
 int64_t Database::BucketIndexFor(SimTime t) const {
@@ -34,18 +67,16 @@ int64_t Database::BucketIndexFor(SimTime t) const {
 void Database::BuildDigest(const Bucket& bucket) {
   std::vector<UpdatedItem>& d = bucket.digest;
   d.clear();
-  d.reserve(bucket.raw.size());
-  for (const JournalEntry& e : bucket.raw) {
-    d.push_back(UpdatedItem{e.id, e.time});
+  const size_t n = bucket.times.size();
+  d.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    d.push_back(UpdatedItem{bucket.ids[i], bucket.times[i]});
   }
   // Stable by id keeps each id's entries in ascending time order, so a
   // per-id trailing run holds its latest in-bucket time. Runs longer than
   // one entry (exact time ties) are kept whole: the raw scan they replace
   // emits every entry matching the item's last_update.
-  std::stable_sort(d.begin(), d.end(),
-                   [](const UpdatedItem& a, const UpdatedItem& b) {
-                     return a.id < b.id;
-                   });
+  std::stable_sort(d.begin(), d.end(), ByItemId);
   size_t out = 0;
   for (size_t i = 0; i < d.size();) {
     size_t j = i;
@@ -60,123 +91,183 @@ void Database::BuildDigest(const Bucket& bucket) {
   bucket.digest_built = true;
 }
 
+void Database::PushBucket(int64_t index, size_t reserve_hint) {
+  if (!spare_buckets_.empty()) {
+    buckets_.push_back(std::move(spare_buckets_.back()));
+    spare_buckets_.pop_back();
+    Bucket& b = buckets_.back();
+    b.index = index;
+    b.times.clear();
+    b.ids.clear();
+    b.digest.clear();
+    b.digest_built = false;
+    b.sealed = false;
+  } else {
+    buckets_.emplace_back();
+    buckets_.back().index = index;
+  }
+  if (reserve_hint > 0) {
+    buckets_.back().times.reserve(reserve_hint);
+    buckets_.back().ids.reserve(reserve_hint);
+  }
+}
+
+void Database::RecycleBucket(Bucket* bucket) {
+  if (spare_buckets_.size() >= kMaxSpareBuckets) return;
+  spare_buckets_.push_back(std::move(*bucket));
+}
+
 void Database::AppendJournal(ItemId id, SimTime now) {
   const int64_t idx = BucketIndexFor(now);
   if (buckets_.empty()) {
-    buckets_.emplace_back();
-    buckets_.back().index = idx;
+    PushBucket(idx, /*reserve_hint=*/0);
   } else if (idx > buckets_.back().index) {
     Bucket& closing = buckets_.back();
     closing.sealed = true;
-    const size_t hint = closing.raw.size();
-    buckets_.emplace_back();
-    buckets_.back().index = idx;
-    buckets_.back().raw.reserve(hint);
+    const size_t hint = closing.times.size();
+    PushBucket(idx, hint);
   }
-  buckets_.back().raw.push_back(JournalEntry{now, id});
+  Bucket& tail = buckets_.back();
+  tail.times.push_back(now);
+  tail.ids.push_back(id);
+  append_times_cursor_ = tail.times.data() + tail.times.size();
+  append_ids_cursor_ = tail.ids.data() + tail.ids.size();
   ++journal_entries_;
 }
 
 void Database::ApplyUpdate(ItemId id, SimTime now) {
-  assert(id < items_.size());
-  assert(journal_entries_ == 0 || now >= buckets_.back().raw.back().time);
-  ItemState& item = items_[id];
+  assert(id < n_);
+  assert(journal_entries_ == 0 || now >= buckets_.back().times.back());
+  HotItem& item = hot_[id];
   ++item.version;
-  item.value = SyntheticValue(seed_, id, item.version);
   item.last_update = now;
   AppendJournal(id, now);
   ++total_updates_;
-  if (observer_) observer_(id, now);
-  for (const auto& observer : extra_observers_) observer(id, now);
+  if (single_observer_ != nullptr) {
+    (*single_observer_)(id, now);
+  } else if (multi_observers_) {
+    if (observer_) observer_(id, now);
+    for (const auto& observer : extra_observers_) observer(id, now);
+  }
+}
+
+void Database::RebuildObserverFastPath() {
+  size_t live = observer_ ? 1 : 0;
+  const std::function<void(ItemId, SimTime)>* only =
+      observer_ ? &observer_ : nullptr;
+  for (const auto& observer : extra_observers_) {
+    if (!observer) continue;
+    ++live;
+    if (only == nullptr) only = &observer;
+  }
+  single_observer_ = live == 1 ? only : nullptr;
+  multi_observers_ = live > 1;
 }
 
 void Database::SetJournalBucketWidth(SimTime width) {
   assert(width >= 0.0);
   if (width == bucket_width_) return;
-  std::vector<JournalEntry> all;
-  all.reserve(journal_entries_);
+  std::vector<SimTime> all_times;
+  std::vector<ItemId> all_ids;
+  all_times.reserve(journal_entries_);
+  all_ids.reserve(journal_entries_);
   for (const Bucket& bucket : buckets_) {
-    all.insert(all.end(), bucket.raw.begin(), bucket.raw.end());
+    all_times.insert(all_times.end(), bucket.times.begin(),
+                     bucket.times.end());
+    all_ids.insert(all_ids.end(), bucket.ids.begin(), bucket.ids.end());
   }
   bucket_width_ = width;
   buckets_.clear();
   journal_entries_ = 0;
-  for (const JournalEntry& e : all) AppendJournal(e.id, e.time);
+  for (size_t i = 0; i < all_times.size(); ++i) {
+    AppendJournal(all_ids[i], all_times[i]);
+  }
 }
 
 std::vector<UpdatedItem> Database::UpdatedIn(SimTime lo, SimTime hi) const {
   std::vector<UpdatedItem> out;
-  if (hi <= lo) return out;
+  UpdatedIn(lo, hi, &out);
+  return out;
+}
+
+void Database::UpdatedIn(SimTime lo, SimTime hi,
+                         std::vector<UpdatedItem>* out) const {
+  out->clear();
+  if (hi <= lo) return;
   // Per-bucket id-sorted segments, merged pairwise below.
-  std::vector<size_t> starts;
+  std::vector<size_t>& starts = merge_starts_;
+  starts.clear();
   for (const Bucket& bucket : buckets_) {
-    if (bucket.raw.empty() || bucket.raw.back().time <= lo) continue;
-    if (bucket.raw.front().time > hi) break;
-    starts.push_back(out.size());
-    if (bucket.sealed && lo < bucket.raw.front().time &&
-        bucket.raw.back().time <= hi) {
+    if (bucket.times.empty() || bucket.times.back() <= lo) continue;
+    if (bucket.times.front() > hi) break;
+    starts.push_back(out->size());
+    if (bucket.sealed && lo < bucket.times.front() &&
+        bucket.times.back() <= hi) {
       // Whole bucket inside the window: splice the digest (built on the
-      // first such query, reused by every later one).
+      // first such query, reused by every later one). The is-still-latest
+      // filter reads one random hot-slab line per entry; prefetching a few
+      // entries ahead keeps the walk ahead of the misses.
       if (!bucket.digest_built) BuildDigest(bucket);
-      for (const UpdatedItem& d : bucket.digest) {
-        if (items_[d.id].last_update == d.updated_at) out.push_back(d);
+      const std::vector<UpdatedItem>& d = bucket.digest;
+      const size_t m = d.size();
+      for (size_t i = 0; i < m; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+        if (i + kDigestPrefetchDistance < m) {
+          __builtin_prefetch(&hot_[d[i + kDigestPrefetchDistance].id],
+                             /*rw=*/0, /*locality=*/1);
+        }
+#endif
+        if (hot_[d[i].id].last_update == d[i].updated_at) out->push_back(d[i]);
       }
     } else {
-      auto first = std::upper_bound(
-          bucket.raw.begin(), bucket.raw.end(), lo,
-          [](SimTime t, const JournalEntry& e) { return t < e.time; });
-      for (auto it = first; it != bucket.raw.end() && it->time <= hi; ++it) {
+      const size_t n = bucket.times.size();
+      for (size_t i = FirstAfter(bucket.times, lo);
+           i < n && bucket.times[i] <= hi; ++i) {
         // Report an item only at its *latest* update; entries later
-        // superseded (even past `hi`) are skipped via the item state.
-        if (items_[it->id].last_update == it->time) {
-          out.push_back(UpdatedItem{it->id, it->time});
+        // superseded (even past `hi`) are skipped via the hot slab.
+        if (hot_[bucket.ids[i]].last_update == bucket.times[i]) {
+          out->push_back(UpdatedItem{bucket.ids[i], bucket.times[i]});
         }
       }
-      std::sort(out.begin() + static_cast<ptrdiff_t>(starts.back()),
-                out.end(), [](const UpdatedItem& a, const UpdatedItem& b) {
-                  return a.id < b.id;
-                });
+      std::sort(out->begin() + static_cast<ptrdiff_t>(starts.back()),
+                out->end(), ByItemId);
     }
   }
   // An id appears in at most one segment (its last update lives in one
   // bucket), so a bottom-up merge of the segments yields the id order a
   // global sort would.
   while (starts.size() > 1) {
-    std::vector<size_t> next;
+    size_t next = 0;
     for (size_t i = 0; i + 1 < starts.size(); i += 2) {
-      const size_t end = (i + 2 < starts.size()) ? starts[i + 2] : out.size();
-      std::inplace_merge(out.begin() + static_cast<ptrdiff_t>(starts[i]),
-                         out.begin() + static_cast<ptrdiff_t>(starts[i + 1]),
-                         out.begin() + static_cast<ptrdiff_t>(end),
-                         [](const UpdatedItem& a, const UpdatedItem& b) {
-                           return a.id < b.id;
-                         });
-      next.push_back(starts[i]);
+      const size_t end = (i + 2 < starts.size()) ? starts[i + 2] : out->size();
+      std::inplace_merge(out->begin() + static_cast<ptrdiff_t>(starts[i]),
+                         out->begin() + static_cast<ptrdiff_t>(starts[i + 1]),
+                         out->begin() + static_cast<ptrdiff_t>(end),
+                         ByItemId);
+      starts[next++] = starts[i];
     }
-    if (starts.size() % 2 != 0) next.push_back(starts[starts.size() - 1]);
-    starts = std::move(next);
+    if (starts.size() % 2 != 0) starts[next++] = starts[starts.size() - 1];
+    starts.resize(next);
   }
-  return out;
 }
 
 uint64_t Database::CountUpdatedIn(SimTime lo, SimTime hi) const {
   uint64_t count = 0;
   if (hi <= lo) return count;
   for (const Bucket& bucket : buckets_) {
-    if (bucket.raw.empty() || bucket.raw.back().time <= lo) continue;
-    if (bucket.raw.front().time > hi) break;
-    if (bucket.sealed && lo < bucket.raw.front().time &&
-        bucket.raw.back().time <= hi) {
+    if (bucket.times.empty() || bucket.times.back() <= lo) continue;
+    if (bucket.times.front() > hi) break;
+    if (bucket.sealed && lo < bucket.times.front() &&
+        bucket.times.back() <= hi) {
       if (!bucket.digest_built) BuildDigest(bucket);
       for (const UpdatedItem& d : bucket.digest) {
-        if (items_[d.id].last_update == d.updated_at) ++count;
+        if (hot_[d.id].last_update == d.updated_at) ++count;
       }
     } else {
-      auto first = std::upper_bound(
-          bucket.raw.begin(), bucket.raw.end(), lo,
-          [](SimTime t, const JournalEntry& e) { return t < e.time; });
-      for (auto it = first; it != bucket.raw.end() && it->time <= hi; ++it) {
-        if (items_[it->id].last_update == it->time) ++count;
+      const size_t n = bucket.times.size();
+      for (size_t i = FirstAfter(bucket.times, lo);
+           i < n && bucket.times[i] <= hi; ++i) {
+        if (hot_[bucket.ids[i]].last_update == bucket.times[i]) ++count;
       }
     }
   }
@@ -187,33 +278,30 @@ std::vector<UpdatedItem> Database::JournalIn(SimTime lo, SimTime hi) const {
   std::vector<UpdatedItem> out;
   if (hi <= lo) return out;
   for (const Bucket& bucket : buckets_) {
-    if (bucket.raw.empty() || bucket.raw.back().time <= lo) continue;
-    if (bucket.raw.front().time > hi) break;
-    auto first = std::upper_bound(
-        bucket.raw.begin(), bucket.raw.end(), lo,
-        [](SimTime t, const JournalEntry& e) { return t < e.time; });
-    for (auto it = first; it != bucket.raw.end() && it->time <= hi; ++it) {
-      out.push_back(UpdatedItem{it->id, it->time});
+    if (bucket.times.empty() || bucket.times.back() <= lo) continue;
+    if (bucket.times.front() > hi) break;
+    const size_t n = bucket.times.size();
+    for (size_t i = FirstAfter(bucket.times, lo);
+         i < n && bucket.times[i] <= hi; ++i) {
+      out.push_back(UpdatedItem{bucket.ids[i], bucket.times[i]});
     }
   }
   return out;
 }
 
 uint64_t Database::VersionAt(ItemId id, SimTime t) const {
-  assert(id < items_.size());
+  assert(id < n_);
   uint64_t after = 0;
   // Updates strictly after t are still in the journal (caller's contract).
   for (const Bucket& bucket : buckets_) {
-    if (bucket.raw.empty() || bucket.raw.back().time <= t) continue;
-    auto first = std::upper_bound(
-        bucket.raw.begin(), bucket.raw.end(), t,
-        [](SimTime time, const JournalEntry& e) { return time < e.time; });
-    for (auto it = first; it != bucket.raw.end(); ++it) {
-      if (it->id == id) ++after;
+    if (bucket.times.empty() || bucket.times.back() <= t) continue;
+    const size_t n = bucket.times.size();
+    for (size_t i = FirstAfter(bucket.times, t); i < n; ++i) {
+      if (bucket.ids[i] == id) ++after;
     }
   }
-  assert(items_[id].version >= after);
-  return items_[id].version - after;
+  assert(hot_[id].version >= after);
+  return hot_[id].version - after;
 }
 
 uint64_t Database::ValueAt(ItemId id, SimTime t) const {
@@ -221,20 +309,22 @@ uint64_t Database::ValueAt(ItemId id, SimTime t) const {
 }
 
 void Database::PruneJournalBefore(SimTime horizon) {
-  while (!buckets_.empty() && buckets_.front().raw.back().time <= horizon) {
-    journal_entries_ -= buckets_.front().raw.size();
+  while (!buckets_.empty() && buckets_.front().times.back() <= horizon) {
+    journal_entries_ -= buckets_.front().times.size();
+    RecycleBucket(&buckets_.front());
     buckets_.pop_front();
   }
-  if (buckets_.empty() || buckets_.front().raw.front().time > horizon) return;
+  if (buckets_.empty() || buckets_.front().times.front() > horizon) return;
   // Partially covered front bucket: trim the raw prefix and any digest
   // entries that fell with it (a digest entry at or before the horizon can
   // no longer be any surviving entry's latest time).
   Bucket& front = buckets_.front();
-  auto keep = std::upper_bound(
-      front.raw.begin(), front.raw.end(), horizon,
-      [](SimTime t, const JournalEntry& e) { return t < e.time; });
-  journal_entries_ -= static_cast<size_t>(keep - front.raw.begin());
-  front.raw.erase(front.raw.begin(), keep);
+  const size_t keep = FirstAfter(front.times, horizon);
+  journal_entries_ -= keep;
+  front.times.erase(front.times.begin(),
+                    front.times.begin() + static_cast<ptrdiff_t>(keep));
+  front.ids.erase(front.ids.begin(),
+                  front.ids.begin() + static_cast<ptrdiff_t>(keep));
   if (front.digest_built) {
     front.digest.erase(
         std::remove_if(front.digest.begin(), front.digest.end(),

@@ -3,18 +3,31 @@
 // answers the window queries the invalidation-report builders need
 // ("which items changed in (lo, hi], and when was each one's last change?").
 //
+// Hot-path layout: the per-item state the update and report paths touch —
+// version and last-update time — lives in a 64-byte-aligned slab of 16-byte
+// records, four per cache line, so the random per-update access costs at
+// most one line and a prefetched line serves the digest walk four items at a
+// time. The value payload is not stored at all: SyntheticValue(seed, id,
+// version) is a pure function of state the slab already holds, so reads
+// derive it on demand and updates never touch value bytes.
+//
 // The journal is a ring of time buckets (one per broadcast interval once
-// SetJournalBucketWidth is wired by the server). A bucket that the clock has
-// moved past is sealed; the first window query that fully covers a sealed
-// bucket builds its per-id digest — each id once, at its latest in-bucket
-// update time, id-sorted — exactly once, so report builders splice k sealed
-// digests instead of re-scanning and re-sorting k*L seconds of raw entries
-// per report, while workloads that never query the journal (no-caching
-// cells) never pay for digests at all. Pruning drops whole buckets.
+// SetJournalBucketWidth is wired by the server), each holding parallel
+// time/id arrays (SoA: window scans walk times without dragging ids through
+// the cache). A bucket that the clock has moved past is sealed; the first
+// window query that fully covers a sealed bucket builds its per-id digest —
+// each id once, at its latest in-bucket update time, id-sorted — exactly
+// once, so report builders splice k sealed digests instead of re-scanning
+// and re-sorting k*L seconds of raw entries per report, while workloads that
+// never query the journal (no-caching cells) never pay for digests at all.
+// Pruning drops whole buckets and recycles their storage into a small free
+// list, so the steady state (one bucket appended, one pruned per interval)
+// allocates nothing.
 
 #ifndef MOBICACHE_DB_DATABASE_H_
 #define MOBICACHE_DB_DATABASE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -28,7 +41,13 @@ namespace mobicache {
 /// Dense item identifier in [0, n).
 using ItemId = uint32_t;
 
-/// Current state of one database item.
+/// Derives the synthetic value of (`seed`, `id`, `version`). Exposed so
+/// tests and clients can verify cache contents against the ground truth.
+uint64_t SyntheticValue(uint64_t seed, ItemId id, uint64_t version);
+
+/// Snapshot of one database item, as returned by Get(). The value is derived
+/// on demand (see the file comment); the authoritative storage is the hot
+/// slab's (version, last_update) pair.
 struct ItemState {
   uint64_t value = 0;     ///< Synthetic value; changes on every update.
   uint64_t version = 0;   ///< Number of updates applied so far.
@@ -48,25 +67,50 @@ class Database {
   /// Creates `n` items (n >= 1) with deterministic initial values derived
   /// from `seed`.
   Database(uint64_t n, uint64_t seed);
+  ~Database();
 
-  uint64_t size() const { return items_.size(); }
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
 
-  /// Read the current state of an item. `id` must be < size().
-  const ItemState& Get(ItemId id) const { return items_[id]; }
+  uint64_t size() const { return n_; }
 
-  /// Applies one update to `id` at time `now`: bumps the version, derives a
-  /// fresh value, stamps the time, and journals the change. `now` must be
-  /// monotonically non-decreasing across calls.
+  /// Snapshot of an item's state. `id` must be < size(). Derives the value;
+  /// hot-path callers that need a single field should use ValueOf /
+  /// VersionOf / LastUpdateOf instead.
+  ItemState Get(ItemId id) const {
+    const HotItem& item = hot_[id];
+    return ItemState{SyntheticValueFor(id, item.version), item.version,
+                     item.last_update};
+  }
+
+  /// Current synthetic value of `id` (derived, not stored).
+  uint64_t ValueOf(ItemId id) const {
+    return SyntheticValueFor(id, hot_[id].version);
+  }
+  /// Number of updates applied to `id` so far.
+  uint64_t VersionOf(ItemId id) const { return hot_[id].version; }
+  /// Time of `id`'s most recent update (0 if none).
+  SimTime LastUpdateOf(ItemId id) const { return hot_[id].last_update; }
+
+  /// Applies one update to `id` at time `now`: bumps the version, stamps the
+  /// time, and journals the change. `now` must be monotonically
+  /// non-decreasing across calls.
   void ApplyUpdate(ItemId id, SimTime now);
 
-  /// Hints that `id` will be updated or read soon. With millions of items
-  /// the per-update random access to the item array misses every cache
-  /// level; a caller that knows the id ahead of time (the update generator
-  /// samples it one event early) can hide that miss behind the intervening
-  /// event dispatches.
+  /// Hints that `id` will be updated soon. With millions of items the
+  /// per-update random access to the hot slab misses every cache level; a
+  /// caller that knows the id ahead of time (the update generator samples it
+  /// one event early) can hide that miss behind the intervening event
+  /// dispatches. Also touches the journal's append cursor, which the same
+  /// update will write.
   void PrefetchItem(ItemId id) const {
 #if defined(__GNUC__) || defined(__clang__)
-    __builtin_prefetch(&items_[id], /*rw=*/1, /*locality=*/1);
+    __builtin_prefetch(&hot_[id], /*rw=*/1, /*locality=*/1);
+    // Next journal write slots, cached as raw cursors by AppendJournal —
+    // touching the tail through the deque here would cost more than the
+    // prefetch saves. Null before the first append; prefetch never faults.
+    __builtin_prefetch(append_times_cursor_, /*rw=*/1, /*locality=*/1);
+    __builtin_prefetch(append_ids_cursor_, /*rw=*/1, /*locality=*/1);
 #else
     (void)id;
 #endif
@@ -76,6 +120,11 @@ class Database {
   /// its latest update time, in increasing id order. This is exactly the
   /// report-list definition used by TS (Eq. 1) and AT (Eq. 2).
   std::vector<UpdatedItem> UpdatedIn(SimTime lo, SimTime hi) const;
+
+  /// Same window query into a caller-owned buffer (cleared first). Report
+  /// builders run once per interval; reusing one buffer across intervals
+  /// keeps the per-report allocation count flat.
+  void UpdatedIn(SimTime lo, SimTime hi, std::vector<UpdatedItem>* out) const;
 
   /// Number of distinct items whose last update lies in (lo, hi].
   uint64_t CountUpdatedIn(SimTime lo, SimTime hi) const;
@@ -98,7 +147,7 @@ class Database {
 
   /// Drops journal entries with time <= `horizon`. Builders never look
   /// further back than the largest report window, so the server prunes
-  /// periodically to bound memory.
+  /// periodically to bound memory. Dropped buckets' storage is recycled.
   void PruneJournalBefore(SimTime horizon);
 
   uint64_t total_updates() const { return total_updates_; }
@@ -116,28 +165,38 @@ class Database {
   /// building periodic reports. Pass nullptr to remove.
   void SetUpdateObserver(std::function<void(ItemId, SimTime)> observer) {
     observer_ = std::move(observer);
+    RebuildObserverFastPath();
   }
 
   /// Adds a further update callback (the report strategies' incremental
   /// feeds); unlike the single SetUpdateObserver slot these accumulate.
   void AddUpdateObserver(std::function<void(ItemId, SimTime)> observer) {
     extra_observers_.push_back(std::move(observer));
+    RebuildObserverFastPath();
   }
 
   /// Removes every observer installed via AddUpdateObserver.
-  void ClearExtraObservers() { extra_observers_.clear(); }
+  void ClearExtraObservers() {
+    extra_observers_.clear();
+    RebuildObserverFastPath();
+  }
 
  private:
-  struct JournalEntry {
-    SimTime time;
-    ItemId id;
+  /// Hot per-item state: exactly 16 bytes, four per cache line in the
+  /// 64-byte-aligned slab, so a record never straddles a line boundary.
+  struct alignas(16) HotItem {
+    uint64_t version = 0;
+    SimTime last_update = 0.0;
   };
+  static_assert(sizeof(HotItem) == 16, "hot record must pack 4 per line");
 
   /// One bucket of the journal ring, covering times in
-  /// (index * width, (index + 1) * width].
+  /// (index * width, (index + 1) * width]. Parallel SoA arrays: times is
+  /// ascending; ids[i] is the item updated at times[i].
   struct Bucket {
     int64_t index = 0;
-    std::vector<JournalEntry> raw;   ///< Ascending time.
+    std::vector<SimTime> times;
+    std::vector<ItemId> ids;
     /// Built lazily on the first fully-covering window query of a sealed
     /// bucket: each id once at its latest in-bucket time (ties kept with
     /// their multiplicity), ascending by id. `mutable` because the build is
@@ -147,23 +206,43 @@ class Database {
     bool sealed = false;  ///< The clock has moved past this bucket.
   };
 
+  uint64_t SyntheticValueFor(ItemId id, uint64_t version) const {
+    return SyntheticValue(seed_, id, version);
+  }
   int64_t BucketIndexFor(SimTime t) const;
   void AppendJournal(ItemId id, SimTime now);
+  /// Appends a fresh bucket with `index`, reusing recycled storage when
+  /// available and reserving `reserve_hint` entries.
+  void PushBucket(int64_t index, size_t reserve_hint);
+  /// Saves a drained bucket's storage in the spare list (bounded).
+  void RecycleBucket(Bucket* bucket);
   static void BuildDigest(const Bucket& bucket);
+  void RebuildObserverFastPath();
 
-  std::vector<ItemState> items_;
-  std::deque<Bucket> buckets_;  // ascending index; raw never empty
+  uint64_t n_ = 0;
+  HotItem* hot_ = nullptr;  ///< 64-byte-aligned slab of n_ records.
+  std::deque<Bucket> buckets_;  // ascending index; times never empty
+  /// One-past-the-end of the tail bucket's SoA arrays, refreshed by every
+  /// AppendJournal — PrefetchItem's journal-append hint (see above).
+  const SimTime* append_times_cursor_ = nullptr;
+  const ItemId* append_ids_cursor_ = nullptr;
+  std::vector<Bucket> spare_buckets_;  ///< Recycled storage (bounded).
   size_t journal_entries_ = 0;
   SimTime bucket_width_ = 0.0;
   uint64_t total_updates_ = 0;
   uint64_t seed_;
   std::function<void(ItemId, SimTime)> observer_;
   std::vector<std::function<void(ItemId, SimTime)>> extra_observers_;
+  /// Exactly-one-observer fast path: points at the lone registered callback
+  /// (refreshed on every observer mutation, so vector reallocation cannot
+  /// dangle it); null when zero or several observers are registered.
+  const std::function<void(ItemId, SimTime)>* single_observer_ = nullptr;
+  bool multi_observers_ = false;  ///< Two or more observers registered.
+  /// UpdatedIn scratch (segment offsets for the bottom-up merge). `mutable`
+  /// cache-fill state like the digests: window queries only run in the
+  /// single-threaded server phase.
+  mutable std::vector<size_t> merge_starts_;
 };
-
-/// Derives the synthetic value of (`seed`, `id`, `version`). Exposed so
-/// tests and clients can verify cache contents against the ground truth.
-uint64_t SyntheticValue(uint64_t seed, ItemId id, uint64_t version);
 
 }  // namespace mobicache
 

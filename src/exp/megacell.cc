@@ -1,5 +1,6 @@
 #include "exp/megacell.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <utility>
@@ -49,7 +50,7 @@ struct MegaCell::Shard {
       rec.kind = LogRecord::kUplink;
       rec.info = info;
       shard->log.push_back(std::move(rec));
-      return FetchResult{db->Get(info.id).value, now};
+      return FetchResult{db->ValueOf(info.id), now};
     }
     Shard* shard;
     const Database* db;
@@ -312,39 +313,125 @@ void MegaCell::ReplayWindow() {
   // broadcast message). Ties break toward the trace, then lower shard — at
   // equal times the contiguous partition makes that exactly the global unit
   // order, which is the order the single-threaded Cell would have produced.
+  //
+  // The selector is a loser tree over source ranks: rank 0 is the trace and
+  // higher ranks are shard-ordered, so the tree's (key, rank) order IS the
+  // replay contract. With >= 4 shards the gang first merges adjacent shard
+  // pairs in parallel (pair p = shards {2p, 2p+1}; in-pair ties take the
+  // lower shard), and the serial tree runs over pairs instead of shards —
+  // same total order, half the serial comparisons.
   const size_t num_shards = shards_.size();
-  std::vector<size_t> head(num_shards, 0);
-  size_t trace_head = async_mode_ ? 0 : update_trace_.size();
-  for (;;) {
-    int source = -2;  // -1 = trace, >= 0 = shard, -2 = exhausted
-    SimTime best = 0.0;
-    if (trace_head < update_trace_.size()) {
-      source = -1;
-      best = update_trace_[trace_head].time;
-    }
-    for (size_t s = 0; s < num_shards; ++s) {
-      if (head[s] >= shards_[s]->log.size()) continue;
-      const SimTime t = shards_[s]->log[head[s]].time;
-      if (source == -2 || t < best) {
-        source = static_cast<int>(s);
-        best = t;
-      }
-    }
-    if (source == -2) break;
-    if (source == -1) {
-      channel_->Transmit(sizes_.id_bits, TrafficClass::kReport);
-      ++async_messages_;
-      ++trace_head;
-      continue;
-    }
-    Shard& sh = *shards_[static_cast<size_t>(source)];
-    const Shard::LogRecord& rec = sh.log[head[static_cast<size_t>(source)]++];
+  const auto consume = [this](const Shard::LogRecord& rec) {
     if (rec.kind == Shard::LogRecord::kUplink) {
       server_->AccountUplinkQuery(rec.info);
     } else {
       channel_->Transmit(rec.bits, rec.cls);
     }
+  };
+  const auto consume_trace = [this] {
+    channel_->Transmit(sizes_.id_bits, TrafficClass::kReport);
+    ++async_messages_;
+  };
+  const size_t trace_end = async_mode_ ? update_trace_.size() : 0;
+  size_t trace_head = 0;
+
+  if (num_shards >= 4) {
+    // Parallel pairwise pre-merge on the gang lanes: lane p two-pointer
+    // merges shards 2p and 2p+1 into a reused reference buffer.
+    const size_t num_pairs = (num_shards + 1) / 2;
+    if (premerged_.size() < num_pairs) premerged_.resize(num_pairs);
+    gang_->Run([this](unsigned lane) {
+      const size_t num_sh = shards_.size();
+      const size_t a = 2 * static_cast<size_t>(lane);
+      if (a >= num_sh) return;
+      const size_t b = a + 1;
+      const std::vector<Shard::LogRecord>& la = shards_[a]->log;
+      const bool has_b = b < num_sh;
+      const std::vector<Shard::LogRecord>& lb =
+          has_b ? shards_[b]->log : la;
+      std::vector<MergedRef>& out = premerged_[lane];
+      out.clear();
+      out.reserve(la.size() + (has_b ? lb.size() : 0));
+      size_t i = 0;
+      size_t j = has_b ? 0 : lb.size();
+      while (i < la.size() && j < lb.size()) {
+        // Ties take shard a — the lower shard index.
+        if (la[i].time <= lb[j].time) {
+          out.push_back(MergedRef{la[i].time, static_cast<uint32_t>(a),
+                                  static_cast<uint32_t>(i)});
+          ++i;
+        } else {
+          out.push_back(MergedRef{lb[j].time, static_cast<uint32_t>(b),
+                                  static_cast<uint32_t>(j)});
+          ++j;
+        }
+      }
+      for (; i < la.size(); ++i) {
+        out.push_back(MergedRef{la[i].time, static_cast<uint32_t>(a),
+                                static_cast<uint32_t>(i)});
+      }
+      if (has_b) {
+        for (; j < lb.size(); ++j) {
+          out.push_back(MergedRef{lb[j].time, static_cast<uint32_t>(b),
+                                  static_cast<uint32_t>(j)});
+        }
+      }
+    });
+
+    merger_.Reset(num_pairs + 1);
+    if (trace_end > 0) merger_.SetHead(0, update_trace_[0].time);
+    replay_heads_.assign(num_pairs, 0);
+    for (size_t p = 0; p < num_pairs; ++p) {
+      if (!premerged_[p].empty()) merger_.SetHead(p + 1, premerged_[p][0].time);
+    }
+    merger_.Build();
+    while (!merger_.exhausted()) {
+      const size_t rank = merger_.top();
+      if (rank == 0) {
+        consume_trace();
+        ++trace_head;
+        merger_.Advance(trace_head < trace_end
+                            ? update_trace_[trace_head].time
+                            : LoserTreeMerger::kExhausted);
+      } else {
+        const std::vector<MergedRef>& refs = premerged_[rank - 1];
+        const size_t h = replay_heads_[rank - 1]++;
+        const MergedRef& ref = refs[h];
+        consume(shards_[ref.shard]->log[ref.index]);
+        merger_.Advance(h + 1 < refs.size() ? refs[h + 1].time
+                                            : LoserTreeMerger::kExhausted);
+      }
+      ++replay_records_;
+    }
+  } else {
+    merger_.Reset(num_shards + 1);
+    if (trace_end > 0) merger_.SetHead(0, update_trace_[0].time);
+    replay_heads_.assign(num_shards, 0);
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (!shards_[s]->log.empty()) {
+        merger_.SetHead(s + 1, shards_[s]->log[0].time);
+      }
+    }
+    merger_.Build();
+    while (!merger_.exhausted()) {
+      const size_t rank = merger_.top();
+      if (rank == 0) {
+        consume_trace();
+        ++trace_head;
+        merger_.Advance(trace_head < trace_end
+                            ? update_trace_[trace_head].time
+                            : LoserTreeMerger::kExhausted);
+      } else {
+        const std::vector<Shard::LogRecord>& log = shards_[rank - 1]->log;
+        const size_t h = replay_heads_[rank - 1]++;
+        consume(log[h]);
+        merger_.Advance(h + 1 < log.size() ? log[h + 1].time
+                                           : LoserTreeMerger::kExhausted);
+      }
+      ++replay_records_;
+    }
   }
+
   for (auto& shard : shards_) shard->log.clear();
   update_trace_.clear();
   pending_deliveries_.clear();
@@ -366,16 +453,29 @@ void MegaCell::AdvanceWindow(SimTime cut, bool inclusive) {
   // Shard phase: one lane per shard, pinned (lane == shard index). The
   // delivery sink only fires inside server events, so every pending
   // delivery's completion time lies in this window — each shard replays all
-  // of them plus the update trace, then advances to the same cut.
-  gang_->Run([this, cut, inclusive](unsigned lane) {
+  // of them plus the update trace, then advances to the same cut. The
+  // window bounds travel via members so the gang closure captures only
+  // `this` (fits std::function's inline buffer — no per-window allocation).
+  window_cut_ = cut;
+  window_inclusive_ = inclusive;
+  t0 = WallClock::now();
+  gang_->Run([this](unsigned lane) {
     Shard& sh = *shards_[lane];
     const WallClock::time_point s0 = WallClock::now();
-    sh.delivery_heard.assign(pending_deliveries_.size(), 0);
-    for (size_t k = 0; k < pending_deliveries_.size(); ++k) {
-      const Server::ReportDelivery& d = pending_deliveries_[k];
+    const size_t deliveries = pending_deliveries_.size();
+    if (sh.delivery_heard.size() < deliveries) {
+      sh.delivery_heard.resize(deliveries);
+    }
+    std::fill_n(sh.delivery_heard.begin(),
+                static_cast<ptrdiff_t>(deliveries), 0);
+    for (size_t k = 0; k < deliveries; ++k) {
+      // Pointer capture: pending_deliveries_ is frozen for the whole shard
+      // phase, and a by-value ReportDelivery capture would copy its
+      // shared_ptr (two refcount RMWs per shard per delivery).
+      const Server::ReportDelivery* d = &pending_deliveries_[k];
       Shard* raw = &sh;
-      sh.sim.ScheduleAt(d.done, [raw, d, k] {
-        raw->delivery_heard[k] = raw->FanOut(*d.report, d.listen_seconds);
+      sh.sim.ScheduleAt(d->done, [raw, d, k] {
+        raw->delivery_heard[k] = raw->FanOut(*d->report, d->listen_seconds);
       });
     }
     if (trace_updates_) {
@@ -392,18 +492,19 @@ void MegaCell::AdvanceWindow(SimTime cut, bool inclusive) {
         }
       }
     }
-    if (inclusive) {
-      sh.sim.RunUntil(cut);
+    if (window_inclusive_) {
+      sh.sim.RunUntil(window_cut_);
     } else {
-      sh.sim.RunUntilBefore(cut);
+      sh.sim.RunUntilBefore(window_cut_);
     }
     sh.wall_seconds += SecondsSince(s0);
   });
+  shard_phase_wall_seconds_ += SecondsSince(t0);
 
   // Barrier: replay the merged shard logs onto the server and channel.
   t0 = WallClock::now();
   ReplayWindow();
-  server_wall_seconds_ += SecondsSince(t0);
+  replay_wall_seconds_ += SecondsSince(t0);
 }
 
 void MegaCell::ResetAllStats() {

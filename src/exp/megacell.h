@@ -19,7 +19,14 @@
 //   barrier        the per-shard chronological logs are k-way-merged by
 //                  (time, shard) — which at equal times equals the global
 //                  unit order, because the partition is contiguous — and
-//                  replayed onto the real server strategy and channel.
+//                  replayed onto the real server strategy and channel. The
+//                  merge is a loser tree (util/merge.h); at >= 4 shards the
+//                  gang first pair-merges adjacent shards' logs in parallel,
+//                  which halves the serial merge's source count and moves
+//                  half its comparisons off the barrier's critical path.
+//                  Pair p = shards {2p, 2p+1} keeps (time, pair) order equal
+//                  to (time, shard) order: the in-pair merge ties toward the
+//                  lower shard and pair ranks are shard-ordered.
 //
 // MUs never interact with each other, only with the per-interval broadcast
 // and the (single-writer, shard-phase-quiescent) database, so this is not an
@@ -48,6 +55,7 @@
 #include <vector>
 
 #include "exp/cell.h"
+#include "util/merge.h"
 #include "util/thread_pool.h"
 
 namespace mobicache {
@@ -99,8 +107,22 @@ class MegaCell {
   const std::vector<MegaCellShardStats>& shard_stats() const {
     return shard_stats_;
   }
-  /// Wall time in the serial server phases + barrier replays.
+
+  // Per-phase wall accounting over the whole run (warmup included — these
+  // are run-lifetime diagnostics, not measurement-phase statistics, so
+  // ResetAllStats leaves them alone). shard_phase is the wall of the
+  // fork-join gang call — the phase's critical path, not the per-lane sum
+  // (that lives in shard_stats) — so server + shard_phase + replay
+  // approximates the full Run() wall on any core count.
+  /// Wall time in the serial server phases.
   double server_wall_seconds() const { return server_wall_seconds_; }
+  /// Wall time in the parallel shard phases (critical path per window).
+  double shard_phase_wall_seconds() const { return shard_phase_wall_seconds_; }
+  /// Wall time in the barrier replay-merges (pre-merge + serial replay).
+  double replay_wall_seconds() const { return replay_wall_seconds_; }
+  /// Records replayed at the barriers (shard log entries + async trace
+  /// broadcasts), warmup included.
+  uint64_t replay_records() const { return replay_records_; }
 
   // Stateful/async counter sums across shard replicas (0 for other modes).
   uint64_t registry_control_messages() const;
@@ -154,6 +176,25 @@ class MegaCell {
     ItemId id;
   };
   std::vector<TraceRecord> update_trace_;
+  /// Current window bounds, stashed as members so the shard-phase gang
+  /// lambda captures only `this` (a by-value capture would overflow
+  /// std::function's inline buffer and allocate every window).
+  SimTime window_cut_ = 0.0;
+  bool window_inclusive_ = false;
+
+  // Barrier replay state, reused across windows so the replay path stops
+  // allocating once capacities are warm.
+  /// Reference into a shard log: pre-merged pairs carry (time, shard,
+  /// index) instead of copied records — a LogRecord copy would drag the
+  /// uplink info's heap payload with it.
+  struct MergedRef {
+    SimTime time;
+    uint32_t shard;
+    uint32_t index;
+  };
+  LoserTreeMerger merger_;
+  std::vector<size_t> replay_heads_;  ///< Per-source consume cursor.
+  std::vector<std::vector<MergedRef>> premerged_;  ///< One per shard pair.
 
   uint64_t measure_intervals_ = 0;
   uint64_t async_messages_ = 0;
@@ -163,6 +204,9 @@ class MegaCell {
   uint64_t quiet_report_intervals_ = 0;
   std::vector<MegaCellShardStats> shard_stats_;
   double server_wall_seconds_ = 0.0;
+  double shard_phase_wall_seconds_ = 0.0;
+  double replay_wall_seconds_ = 0.0;
+  uint64_t replay_records_ = 0;
 };
 
 }  // namespace mobicache

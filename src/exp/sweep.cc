@@ -63,31 +63,28 @@ struct SweepJob {
 };
 
 // Builds, runs, and harvests one cell. `slot`/`status`/`timing` belong
-// exclusively to this job. shards > 1 runs the cell as a MegaCell, which
-// produces byte-identical results (see exp/megacell.h).
+// exclusively to this job. Every cell runs as a MegaCell — a 1-shard
+// MegaCell is byte-identical to the classic Cell (see exp/megacell.h) and
+// reports the per-phase wall breakdown the bench JSON carries.
 void RunSweepJob(const SweepJob& job, uint64_t warmup_intervals,
                  uint64_t measure_intervals, int shards,
                  std::optional<CellResult>* slot,
                  SweepResult::CellTiming* timing, Status* status) {
   const auto t0 = std::chrono::steady_clock::now();
-  Status s;
-  if (shards > 1) {
-    MegaCellConfig mc;
-    mc.cell = job.config;
-    mc.num_shards = static_cast<uint32_t>(shards);
-    MegaCell cell(std::move(mc));
-    s = cell.Build();
-    if (s.ok()) s = cell.Run(warmup_intervals, measure_intervals);
-    if (s.ok()) slot->emplace(cell.result());
-  } else {
-    Cell cell(job.config);
-    s = cell.Build();
-    if (s.ok()) s = cell.Run(warmup_intervals, measure_intervals);
-    if (s.ok()) slot->emplace(cell.result());
-  }
+  MegaCellConfig mc;
+  mc.cell = job.config;
+  mc.num_shards = static_cast<uint32_t>(shards);
+  MegaCell cell(std::move(mc));
+  Status s = cell.Build();
+  if (s.ok()) s = cell.Run(warmup_intervals, measure_intervals);
+  if (s.ok()) slot->emplace(cell.result());
   timing->wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  timing->server_seconds = cell.server_wall_seconds();
+  timing->shard_seconds = cell.shard_phase_wall_seconds();
+  timing->replay_seconds = cell.replay_wall_seconds();
+  timing->replay_records = cell.replay_records();
   if (!s.ok()) *status = std::move(s);
 }
 

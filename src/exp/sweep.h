@@ -67,6 +67,16 @@ struct SweepResult {
     StrategyKind kind;
     double x = 0.0;  ///< The sweep-axis value of the cell's point.
     double wall_seconds = 0.0;
+    // Per-phase walls of the sharded engine's run (see exp/megacell.h):
+    // serial server phases, the parallel shard phases' critical path, and
+    // the barrier replay-merges. Their sum approximates wall_seconds minus
+    // Build(); replay_records counts the log records merged at the
+    // barriers. Every simulated cell reports these — a 1-shard cell is a
+    // MegaCell too.
+    double server_seconds = 0.0;
+    double shard_seconds = 0.0;
+    double replay_seconds = 0.0;
+    uint64_t replay_records = 0;
   };
   std::vector<CellTiming> cell_timings;
 };

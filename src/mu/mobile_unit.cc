@@ -1,5 +1,6 @@
 #include "mu/mobile_unit.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -13,6 +14,11 @@ namespace {
 /// intervals — which re-enters the scan. It also caps wasted draws past the
 /// end of a finite run (the scan cannot know when the simulation stops).
 constexpr uint64_t kMaxFastForwardScan = 64;
+
+/// Cap on recycled batch vectors kept per unit. One covers the steady state
+/// (one group sealed and drained per interval); a few more absorb missed-
+/// report pile-ups without hoarding memory across 10^6 units.
+constexpr size_t kMaxSpareBatchVectors = 4;
 }  // namespace
 
 MobileUnit::MobileUnit(Simulator* sim, MobileUnitConfig config,
@@ -95,6 +101,13 @@ void MobileUnit::OnIntervalTick(uint64_t interval) {
   if (!arriving_.empty()) {
     pending_groups_.push_back(SealedGroup{interval, std::move(arriving_)});
     arriving_.clear();
+    if (!spare_batches_.empty()) {
+      // Take a drained group's warm storage so the next interval's arrivals
+      // insert into reserved capacity instead of growing from empty.
+      arriving_ = std::move(spare_batches_.back());
+      spare_batches_.pop_back();
+      arriving_.clear();
+    }
   }
 
   if (awake_) {
@@ -158,8 +171,16 @@ void MobileUnit::GenerateIntervalArrivals(SimTime interval_end) {
                             ? query_zipf_->Sample(rng_)
                             : rng_.NextUint64(config_.hotspot.size())];
     ++stats_.queries_issued;
-    arriving_.emplace(item, t);  // keeps the first arrival time
+    RecordArrival(item, t);
   }
+}
+
+void MobileUnit::RecordArrival(ItemId id, SimTime t) {
+  const auto it = std::lower_bound(
+      arriving_.begin(), arriving_.end(), id,
+      [](const PendingBatch& b, ItemId v) { return b.id < v; });
+  if (it != arriving_.end() && it->id == id) return;  // keeps first arrival
+  arriving_.insert(it, PendingBatch{id, t});
 }
 
 bool MobileUnit::OnBroadcast(const Report& report, double listen_seconds) {
@@ -182,21 +203,34 @@ void MobileUnit::OnReportDelivery(const Report& report) {
   // uplink request).
   const SimTime validity_ts = ReportTimestamp(report);
   const uint64_t interval = ReportInterval(report);
-  std::map<ItemId, SimTime> eligible;
+  eligible_scratch_.clear();
   while (pending_head_ < pending_groups_.size() &&
          pending_groups_[pending_head_].answerable_from <= interval) {
-    for (const auto& [id, first] : pending_groups_[pending_head_].batches) {
-      auto [it, inserted] = eligible.emplace(id, first);
-      if (!inserted && first < it->second) it->second = first;
+    for (const PendingBatch& b : pending_groups_[pending_head_].batches) {
+      const auto it = std::lower_bound(
+          eligible_scratch_.begin(), eligible_scratch_.end(), b.id,
+          [](const PendingBatch& e, ItemId v) { return e.id < v; });
+      if (it != eligible_scratch_.end() && it->id == b.id) {
+        if (b.first < it->first) it->first = b.first;
+      } else {
+        eligible_scratch_.insert(it, b);
+      }
     }
     ++pending_head_;  // O(1) pop; storage reclaimed when the queue drains
   }
   if (pending_head_ == pending_groups_.size()) {
+    // Recycle the drained groups' batch storage before dropping them; the
+    // steady state then seals every interval into a warm vector.
+    for (SealedGroup& g : pending_groups_) {
+      if (spare_batches_.size() >= kMaxSpareBatchVectors) break;
+      g.batches.clear();
+      spare_batches_.push_back(std::move(g.batches));
+    }
     pending_groups_.clear();
     pending_head_ = 0;
   }
-  for (const auto& [id, first_issued] : eligible) {
-    AnswerBatch(id, first_issued, validity_ts);
+  for (const PendingBatch& b : eligible_scratch_) {
+    AnswerBatch(b.id, b.first, validity_ts);
   }
 }
 

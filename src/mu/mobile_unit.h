@@ -32,7 +32,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -177,6 +176,10 @@ class MobileUnit {
   void GenerateIntervalArrivals(SimTime interval_end);
   void ScheduleNextArrival(SimTime interval_end);
   void OnQueryArrival(SimTime interval_end);
+  /// Queues one arrival into `arriving_` (sorted insert). Arrivals come in
+  /// time order, so an id already present keeps its earlier first-arrival
+  /// time — the std::map::emplace "first insert wins" rule.
+  void RecordArrival(ItemId id, SimTime t);
   /// Answers one batch at the current time; `validity_ts` is the timestamp
   /// vouching for cache answers (report timestamp, or now for immediate
   /// mode).
@@ -191,6 +194,14 @@ class MobileUnit {
   Rng rng_;
   std::unique_ptr<ZipfDistribution> query_zipf_;  // null = uniform
   ClientCache cache_;
+  /// One queued query batch: the item and the first arrival time of its
+  /// queries. Batches live in ascending-id sorted vectors — the same
+  /// iteration order as the std::map they replaced, but the hot query path
+  /// reuses flat storage instead of allocating a tree node per query.
+  struct PendingBatch {
+    ItemId id;
+    SimTime first;
+  };
   /// Queries queued during interval i are sealed at tick i+1 and may only
   /// be answered by a report with interval index >= i+1 (a report reflects
   /// updates up to its own T_i only — this matters when report airtime or
@@ -198,10 +209,10 @@ class MobileUnit {
   /// collects the current interval's arrivals; sealed groups queue in
   /// `pending_groups_` and are merged per item at answer time.
   struct SealedGroup {
-    uint64_t answerable_from;        ///< Minimum report interval index.
-    std::map<ItemId, SimTime> batches;  ///< item -> first arrival time.
+    uint64_t answerable_from;           ///< Minimum report interval index.
+    std::vector<PendingBatch> batches;  ///< Ascending id, first arrival.
   };
-  std::map<ItemId, SimTime> arriving_;
+  std::vector<PendingBatch> arriving_;
   /// FIFO of sealed groups: a vector plus a head index rather than a deque
   /// (libstdc++'s deque pre-allocates a ~512-byte map per instance — real
   /// memory at 10^6 units). Popping advances `pending_head_`; storage is
@@ -209,6 +220,12 @@ class MobileUnit {
   /// costs O(groups) total instead of the O(groups^2) a front-erase would.
   std::vector<SealedGroup> pending_groups_;
   size_t pending_head_ = 0;
+  /// Reused scratch for OnReportDelivery's cross-group merge, plus a small
+  /// pool of drained batch vectors: sealing an interval swaps a warm vector
+  /// back into `arriving_`, so the steady state queues, seals, and answers
+  /// queries without touching the heap.
+  std::vector<PendingBatch> eligible_scratch_;
+  std::vector<std::vector<PendingBatch>> spare_batches_;
   /// The single pending interval tick (the unit schedules its own ticks so
   /// sleeping stretches can be skipped; see ScheduleNextTick).
   EventId pending_tick_{};

@@ -106,7 +106,7 @@ void Server::AccountUplinkQuery(const UplinkQueryInfo& info) {
 
 UplinkService::FetchResult Server::FetchItem(const UplinkQueryInfo& info) {
   AccountUplinkQuery(info);
-  return FetchResult{db_->Get(info.id).value, sim_->Now()};
+  return FetchResult{db_->ValueOf(info.id), sim_->Now()};
 }
 
 }  // namespace mobicache

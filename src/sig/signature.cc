@@ -126,7 +126,7 @@ ServerSignatureState::ServerSignatureState(const SignatureFamily* family,
   for (uint64_t i = 0; i < db_->size(); ++i) {
     const ItemId id = static_cast<ItemId>(i);
     if (IsExcluded(id)) continue;
-    const uint64_t sig = family_->ItemSignature(db_->Get(id).value);
+    const uint64_t sig = family_->ItemSignature(db_->ValueOf(id));
     incorporated_[i] = sig;
     for (uint32_t j : family_->SubsetsOf(id)) combined_[j] ^= sig;
   }
@@ -139,7 +139,7 @@ bool ServerSignatureState::IsExcluded(ItemId id) const {
 void ServerSignatureState::OnItemChanged(ItemId id) {
   assert(id < incorporated_.size());
   if (IsExcluded(id)) return;
-  const uint64_t fresh = family_->ItemSignature(db_->Get(id).value);
+  const uint64_t fresh = family_->ItemSignature(db_->ValueOf(id));
   const uint64_t delta = fresh ^ incorporated_[id];
   if (delta == 0) return;
   for (uint32_t j : family_->SubsetsOf(id)) combined_[j] ^= delta;

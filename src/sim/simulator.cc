@@ -73,24 +73,33 @@ EventFn Simulator::TakeRootForDispatch() {
   return fn;
 }
 
-EventId Simulator::ScheduleAt(SimTime when, EventFn fn) {
-  assert(when >= now_ && "cannot schedule in the past");
-  assert(fn != nullptr);
-  const uint64_t seq = next_seq_++;
-  uint32_t slot;
+uint32_t Simulator::AcquireSlot() {
   if (!free_slots_.empty()) {
-    slot = free_slots_.back();
+    const uint32_t slot = free_slots_.back();
     free_slots_.pop_back();
-  } else {
-    slot = static_cast<uint32_t>(slots_.size());
-    slots_.emplace_back();
+    return slot;
   }
+  const uint32_t slot = static_cast<uint32_t>(slots_.size());
+  slots_.emplace_back();
+  return slot;
+}
+
+EventId Simulator::FinishSchedule(SimTime when, uint32_t slot) {
+  assert(when >= now_ && "cannot schedule in the past");
+  assert(slots_[slot].fn != nullptr);
+  const uint64_t seq = next_seq_++;
   Slot& s = slots_[slot];
-  s.fn = std::move(fn);
   s.seq = seq;
   s.cancelled = false;
   HeapPush(Entry{when, seq, slot});
   return EventId{seq, slot};
+}
+
+EventId Simulator::ScheduleAt(SimTime when, EventFn fn) {
+  assert(fn != nullptr);
+  const uint32_t slot = AcquireSlot();
+  slots_[slot].fn = std::move(fn);
+  return FinishSchedule(when, slot);
 }
 
 EventId Simulator::ScheduleAfter(SimTime delay, EventFn fn) {

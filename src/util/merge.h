@@ -1,0 +1,111 @@
+// Loser-tree k-way merge selector. The barrier replay in exp/megacell.cc
+// merges k time-sorted per-shard logs (plus, for some strategies, the update
+// trace) into one stream; the naive selector scans every source per record,
+// O(records x k). A loser tree replays only one root-to-leaf path per pop,
+// O(records x log2 k), and — unlike a binary heap — performs exactly
+// ceil(log2 k) comparisons per pop with no sift-up/sift-down branching.
+//
+// The merger is key-only: callers keep their own per-source cursors and feed
+// the next key after each Advance(). Ties break toward the *lower source
+// rank* (Less() compares ranks when keys are equal), which is exactly the
+// replay contract: rank 0 is the update trace, rank s+1 is shard s, so equal
+// timestamps pop trace-first then in ascending shard order.
+//
+// Exhausted sources push +infinity (kExhausted). Simulation timestamps are
+// finite in every produced log (event times derive from finite interval
+// boundaries and exponential gaps), so the sentinel cannot collide with a
+// real key.
+
+#ifndef MOBICACHE_UTIL_MERGE_H_
+#define MOBICACHE_UTIL_MERGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mobicache {
+
+class LoserTreeMerger {
+ public:
+  using Key = double;
+  /// Sentinel key for an exhausted source; larger than any real key and
+  /// ties (exhausted vs exhausted) resolve by rank like everything else.
+  static constexpr Key kExhausted = std::numeric_limits<Key>::infinity();
+
+  /// Prepares the merger for `num_sources` sources (>= 1). All heads start
+  /// exhausted; callers SetHead() the live ones, then Build(). Reuses the
+  /// internal buffers, so a Reset per merge round does not allocate once
+  /// capacity is warm.
+  void Reset(size_t num_sources) {
+    k_ = num_sources;
+    keys_.assign(k_, kExhausted);
+    tree_.assign(k_ < 2 ? 1 : k_, 0);
+  }
+
+  /// Sets source `rank`'s first key. Only valid between Reset() and Build().
+  void SetHead(size_t rank, Key key) { keys_[rank] = key; }
+
+  /// Builds the tree bottom-up over the current heads. The implicit layout
+  /// places the k leaves at conceptual positions [k, 2k); internal node v
+  /// has children 2v and 2v+1, and tree_[v] holds the *loser* of the match
+  /// played at v (tree_[0] holds the overall winner).
+  void Build() {
+    if (k_ < 2) {
+      tree_[0] = 0;
+      return;
+    }
+    winners_.assign(k_, 0);
+    for (size_t v = k_ - 1; v >= 1; --v) {
+      const size_t l = 2 * v;
+      const size_t r = 2 * v + 1;
+      const uint32_t a = l >= k_ ? static_cast<uint32_t>(l - k_) : winners_[l];
+      const uint32_t b = r >= k_ ? static_cast<uint32_t>(r - k_) : winners_[r];
+      if (Less(a, b)) {
+        winners_[v] = a;
+        tree_[v] = b;
+      } else {
+        winners_[v] = b;
+        tree_[v] = a;
+      }
+    }
+    tree_[0] = winners_[1];
+  }
+
+  /// Rank of the source holding the smallest (key, rank) pair.
+  size_t top() const { return tree_[0]; }
+  Key top_key() const { return keys_[tree_[0]]; }
+  bool exhausted() const { return top_key() == kExhausted; }
+
+  /// Replaces the winner's key with its source's next key (or kExhausted)
+  /// and replays the winner's leaf-to-root path.
+  void Advance(Key next) {
+    const uint32_t rank = tree_[0];
+    keys_[rank] = next;
+    if (k_ < 2) return;
+    uint32_t cur = rank;
+    for (size_t node = (k_ + rank) / 2; node != 0; node /= 2) {
+      if (Less(tree_[node], cur)) {
+        const uint32_t tmp = cur;
+        cur = tree_[node];
+        tree_[node] = tmp;
+      }
+    }
+    tree_[0] = cur;
+  }
+
+ private:
+  /// Strict-weak order on source ranks: by key, ties toward the lower rank.
+  bool Less(uint32_t a, uint32_t b) const {
+    return keys_[a] < keys_[b] || (keys_[a] == keys_[b] && a < b);
+  }
+
+  size_t k_ = 0;
+  std::vector<Key> keys_;      ///< Current head key per source rank.
+  std::vector<uint32_t> tree_; ///< tree_[0] = winner; tree_[v>=1] = loser at v.
+  std::vector<uint32_t> winners_;  ///< Build() scratch (match winners).
+};
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_UTIL_MERGE_H_

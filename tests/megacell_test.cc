@@ -97,7 +97,9 @@ TEST_P(MegaCellEquivalenceTest, MatchesCellAtAnyShardCount) {
   const CellResult classic_result = classic.result();
   std::vector<MobileUnit*> classic_units = classic.units();
 
-  for (uint32_t shards : {1u, 4u}) {
+  // 8 shards exercises the pairwise pre-merge + loser-tree replay path
+  // (taken when shards >= 4) at a width where the tree has real depth.
+  for (uint32_t shards : {1u, 4u, 8u}) {
     SCOPED_TRACE(std::string(StrategyName(kind)) + " shards=" +
                  std::to_string(shards));
     MegaCellConfig mc;
