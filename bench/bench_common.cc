@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <climits>
@@ -8,12 +9,55 @@
 #include <cstring>
 #include <iostream>
 #include <fstream>
+#include <new>
 #include <string>
 
 #include "bench_json.h"
 #include "util/thread_pool.h"
 
+// Counting global allocator: every bench linking bench_common reports its
+// heap allocation count in the BENCH record, so an allocation regression on
+// a hot path shows up as a step in the per-commit artifact trail, not just
+// as a throughput wobble.
+namespace {
+std::atomic<uint64_t> g_new_calls{0};
+}  // namespace
+
+// noinline keeps the malloc/free bodies opaque at new/delete expression
+// sites, which would otherwise trip GCC's -Wmismatched-new-delete.
+#if defined(__GNUC__)
+#define MOBICACHE_BENCH_NOINLINE __attribute__((noinline))
+#else
+#define MOBICACHE_BENCH_NOINLINE
+#endif
+
+MOBICACHE_BENCH_NOINLINE void* operator new(std::size_t size) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+MOBICACHE_BENCH_NOINLINE void* operator new[](std::size_t size) {
+  return ::operator new(size);
+}
+MOBICACHE_BENCH_NOINLINE void operator delete(void* p) noexcept {
+  std::free(p);
+}
+MOBICACHE_BENCH_NOINLINE void operator delete[](void* p) noexcept {
+  std::free(p);
+}
+MOBICACHE_BENCH_NOINLINE void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+MOBICACHE_BENCH_NOINLINE void operator delete[](void* p,
+                                                std::size_t) noexcept {
+  std::free(p);
+}
+
 namespace mobicache {
+
+uint64_t BenchHeapAllocations() {
+  return g_new_calls.load(std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -141,8 +185,10 @@ int RunFigureBench(PaperScenario scenario,
   }
 
   const auto start = std::chrono::steady_clock::now();
+  const uint64_t allocs_before = BenchHeapAllocations();
   const StatusOr<SweepResult> result =
       RunScenarioSweep(scenario, strategies, options);
+  const uint64_t sweep_allocations = BenchHeapAllocations() - allocs_before;
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -171,9 +217,10 @@ int RunFigureBench(PaperScenario scenario,
     const std::string bench_name = BenchNameFromArgv0(argv[0]);
     const std::string path =
         json_path == "auto" ? "BENCH_" + bench_name + ".json" : json_path;
-    const BenchRecord record =
+    BenchRecord record =
         MakeBenchRecord(bench_name, std::string(ScenarioLabel(scenario)),
                         *result, options, threads_used, wall_seconds);
+    record.heap_allocations = sweep_allocations;
     const Status st = WriteBenchJson(record, path);
     if (!st.ok()) {
       std::cerr << st.ToString() << "\n";

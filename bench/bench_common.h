@@ -28,11 +28,18 @@ SweepOptions ParseSweepArgs(int argc, char** argv, SweepOptions defaults,
 /// Runs one paper figure: analytic curves plus (unless --no-sim) the
 /// matching simulated series, printed as aligned tables. With --json, also
 /// emits a machine-readable BenchRecord (see bench_json.h) capturing wall
-/// time, events/sec, cells/sec, and the configuration. Returns a process
-/// exit code.
+/// time, events/sec, cells/sec, quiet-interval accounting, the sweep's heap
+/// allocation count, and the configuration. Returns a process exit code.
 int RunFigureBench(PaperScenario scenario,
                    const std::vector<StrategyKind>& strategies, int argc,
                    char** argv, SweepOptions defaults);
+
+/// Global operator-new calls this process has made so far. bench_common.cc
+/// installs a counting allocator (one relaxed atomic increment per call —
+/// noise on build paths, invisible on the allocation-free hot paths);
+/// RunFigureBench records the delta across the sweep so BENCH records track
+/// allocation churn alongside throughput.
+uint64_t BenchHeapAllocations();
 
 }  // namespace mobicache
 

@@ -65,6 +65,8 @@ BenchRecord MakeBenchRecord(const std::string& name,
     record.cells_per_sec =
         static_cast<double>(result.simulated_cells) / wall_seconds;
   }
+  record.quiet_report_intervals = result.quiet_report_intervals;
+  record.quiet_skipped_intervals = result.quiet_skipped_intervals;
   record.threads = threads_used;
   record.hardware_concurrency = ThreadPool::DefaultThreadCount();
   record.points = options.points;
@@ -104,6 +106,9 @@ std::string BenchRecordToJson(const BenchRecord& r) {
   os << ",\n  \"cells\": " << r.cells;
   os << ",\n  \"events_per_sec\": " << Num(r.events_per_sec);
   os << ",\n  \"cells_per_sec\": " << Num(r.cells_per_sec);
+  os << ",\n  \"quiet_report_intervals\": " << r.quiet_report_intervals;
+  os << ",\n  \"quiet_skipped_intervals\": " << r.quiet_skipped_intervals;
+  os << ",\n  \"heap_allocations\": " << r.heap_allocations;
   os << ",\n  \"threads\": " << r.threads;
   os << ",\n  \"hardware_concurrency\": " << r.hardware_concurrency;
   os << ",\n  \"points\": " << r.points;

@@ -28,6 +28,17 @@ struct BenchRecord {
   double events_per_sec = 0.0;
   double cells_per_sec = 0.0;
 
+  // Quiet-server accounting, summed across the simulated cells: measured
+  // intervals whose delivery found every unit asleep, and the subset the
+  // server elided outright (always <= quiet_report_intervals).
+  uint64_t quiet_report_intervals = 0;
+  uint64_t quiet_skipped_intervals = 0;
+  /// Global operator-new calls made across the sweep (see
+  /// BenchHeapAllocations in bench_common.h). Steady-state broadcast work
+  /// adds nothing here, so the count tracks build/teardown churn and
+  /// catches allocation regressions on the hot paths.
+  uint64_t heap_allocations = 0;
+
   // Configuration that produced the numbers.
   int threads = 0;           ///< Effective worker count.
   unsigned hardware_concurrency = 0;

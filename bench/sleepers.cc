@@ -39,10 +39,18 @@ struct RunRecord {
   double s = 0.0;
   double build_seconds = 0.0;
   double run_seconds = 0.0;
+  /// Wall time in the server's broadcast path (build/elide + fan-out),
+  /// warmup included — the quiet-elision win shows up here: at high s most
+  /// intervals are elided and server_seconds collapses toward zero.
+  double server_seconds = 0.0;
   uint64_t sim_events = 0;
   double events_per_sec = 0.0;
   uint64_t baseline_event_model = 0;
   int64_t events_eliminated = 0;
+  /// Measured intervals nobody heard, and the subset the server elided
+  /// outright (always <= quiet_report_intervals).
+  uint64_t quiet_report_intervals = 0;
+  uint64_t quiet_skipped_intervals = 0;
   double hit_ratio = 0.0;
   uint64_t queries_answered = 0;
   double measured_sleep_fraction = 0.0;
@@ -163,8 +171,11 @@ void WriteJson(const BenchArgs& args, const std::vector<RunRecord>& runs,
        << ", \"run_seconds\": " << Num(r.run_seconds)
        << ", \"sim_events\": " << r.sim_events
        << ", \"events_per_sec\": " << Num(r.events_per_sec)
+       << ", \"server_seconds\": " << Num(r.server_seconds)
        << ", \"baseline_event_model\": " << r.baseline_event_model
        << ", \"events_eliminated\": " << r.events_eliminated
+       << ", \"quiet_report_intervals\": " << r.quiet_report_intervals
+       << ", \"quiet_skipped_intervals\": " << r.quiet_skipped_intervals
        << ", \"hit_ratio\": " << Num(r.hit_ratio)
        << ", \"queries_answered\": " << r.queries_answered
        << ", \"measured_sleep_fraction\": " << Num(r.measured_sleep_fraction)
@@ -227,15 +238,22 @@ int Main(int argc, char** argv) {
           static_cast<uint64_t>(arrivals_total);
       rec.events_eliminated = static_cast<int64_t>(rec.baseline_event_model) -
                               static_cast<int64_t>(rec.sim_events);
+      rec.server_seconds = cell.server_wall_seconds();
+      rec.quiet_report_intervals = result.quiet_report_intervals;
+      rec.quiet_skipped_intervals = result.quiet_skipped_intervals;
       rec.hit_ratio = result.hit_ratio;
       rec.queries_answered = result.queries_answered;
       rec.measured_sleep_fraction = result.measured_sleep_fraction;
       std::printf(
-          "units=%-8llu s=%-5g build %6.2fs  run %7.2fs  %9llu events "
-          "(%.3g/s)  eliminated %lld  sleep=%.3f  h=%.4f\n",
+          "units=%-8llu s=%-5g build %6.2fs  run %7.2fs  server %6.3fs  "
+          "%9llu events (%.3g/s)  eliminated %lld  quiet %llu/%llu  "
+          "sleep=%.3f  h=%.4f\n",
           static_cast<unsigned long long>(units), s, rec.build_seconds,
-          rec.run_seconds, static_cast<unsigned long long>(rec.sim_events),
-          rec.events_per_sec, static_cast<long long>(rec.events_eliminated),
+          rec.run_seconds, rec.server_seconds,
+          static_cast<unsigned long long>(rec.sim_events), rec.events_per_sec,
+          static_cast<long long>(rec.events_eliminated),
+          static_cast<unsigned long long>(rec.quiet_skipped_intervals),
+          static_cast<unsigned long long>(rec.quiet_report_intervals),
           rec.measured_sleep_fraction, rec.hit_ratio);
       std::fflush(stdout);
       runs.push_back(std::move(rec));

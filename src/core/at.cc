@@ -21,6 +21,32 @@ Report AtServerStrategy::BuildReport(SimTime now, uint64_t interval) {
   return report;
 }
 
+void AtServerStrategy::BuildReportInto(SimTime now, uint64_t interval,
+                                       Report* out) {
+  AtReport* at = std::get_if<AtReport>(out);
+  if (at == nullptr) at = &out->emplace<AtReport>();
+  at->interval = interval;
+  at->timestamp = now;
+  db_->UpdatedIn(now - latency_, now, &delta_scratch_);
+  at->ids.clear();
+  at->ids.reserve(delta_scratch_.size());
+  for (const UpdatedItem& item : delta_scratch_) at->ids.push_back(item.id);
+}
+
+bool AtServerStrategy::AdvanceQuiet(SimTime now, uint64_t interval,
+                                    const MessageSizes& sizes,
+                                    uint64_t* bits) {
+  (void)interval;
+  // AT keeps no state across intervals; a quiet interval only needs the
+  // report's size (Eq. 19: nL * log n), countable without materializing ids.
+  *bits = db_->CountUpdatedIn(now - latency_, now) * sizes.id_bits;
+  return true;
+}
+
+Report AtServerStrategy::MaterializeQuiet(SimTime now, uint64_t interval) {
+  return BuildReport(now, interval);
+}
+
 uint64_t AtClientManager::OnReport(const Report& report, ClientCache* cache) {
   const auto& at = std::get<AtReport>(report);
   uint64_t invalidated = 0;

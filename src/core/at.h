@@ -20,11 +20,17 @@ class AtServerStrategy : public ServerStrategy {
 
   StrategyKind kind() const override { return StrategyKind::kAt; }
   Report BuildReport(SimTime now, uint64_t interval) override;
+  void BuildReportInto(SimTime now, uint64_t interval, Report* out) override;
+  bool AdvanceQuiet(SimTime now, uint64_t interval, const MessageSizes& sizes,
+                    uint64_t* bits) override;
+  Report MaterializeQuiet(SimTime now, uint64_t interval) override;
   SimTime JournalHorizonSeconds() const override { return latency_; }
 
  private:
   const Database* db_;
   SimTime latency_;
+  // Scratch for Database::UpdatedIn, reused across reports.
+  std::vector<UpdatedItem> delta_scratch_;
 };
 
 /// AT client half: implements the §3.2 client algorithm.

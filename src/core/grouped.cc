@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_set>
+
+#include "util/bits.h"
 
 namespace mobicache {
 
@@ -20,18 +21,58 @@ GroupedAtServerStrategy::GroupedAtServerStrategy(const Database* db,
   assert(latency > 0.0);
 }
 
+void GroupedAtServerStrategy::ChangedGroups(SimTime now,
+                                            std::vector<uint32_t>* out) {
+  db_->UpdatedIn(now - latency_, now, &delta_scratch_);
+  for (const UpdatedItem& item : delta_scratch_) {
+    const uint32_t group = grouping_.GroupOf(item.id);
+    if (out->empty() || out->back() != group) out->push_back(group);
+  }
+}
+
 Report GroupedAtServerStrategy::BuildReport(SimTime now, uint64_t interval) {
   GroupedAtReport report;
   report.interval = interval;
   report.timestamp = now;
   report.num_groups = grouping_.num_groups();
-  std::unordered_set<uint32_t> changed;
-  for (const UpdatedItem& item : db_->UpdatedIn(now - latency_, now)) {
-    changed.insert(grouping_.GroupOf(item.id));
-  }
-  report.groups.assign(changed.begin(), changed.end());
-  std::sort(report.groups.begin(), report.groups.end());
+  ChangedGroups(now, &report.groups);
   return report;
+}
+
+void GroupedAtServerStrategy::BuildReportInto(SimTime now, uint64_t interval,
+                                              Report* out) {
+  GroupedAtReport* gat = std::get_if<GroupedAtReport>(out);
+  if (gat == nullptr) gat = &out->emplace<GroupedAtReport>();
+  gat->interval = interval;
+  gat->timestamp = now;
+  gat->num_groups = grouping_.num_groups();
+  gat->groups.clear();
+  ChangedGroups(now, &gat->groups);
+}
+
+bool GroupedAtServerStrategy::AdvanceQuiet(SimTime now, uint64_t interval,
+                                           const MessageSizes& sizes,
+                                           uint64_t* bits) {
+  (void)interval;
+  (void)sizes;
+  // Count the distinct changed groups without materializing them.
+  db_->UpdatedIn(now - latency_, now, &delta_scratch_);
+  uint64_t count = 0;
+  uint32_t prev_group = 0;
+  for (const UpdatedItem& item : delta_scratch_) {
+    const uint32_t group = grouping_.GroupOf(item.id);
+    if (count == 0 || group != prev_group) {
+      ++count;
+      prev_group = group;
+    }
+  }
+  *bits = count * BitsForIds(grouping_.num_groups());
+  return true;
+}
+
+Report GroupedAtServerStrategy::MaterializeQuiet(SimTime now,
+                                                 uint64_t interval) {
+  return BuildReport(now, interval);
 }
 
 GroupedAtClientManager::GroupedAtClientManager(uint64_t n,

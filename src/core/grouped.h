@@ -43,14 +43,25 @@ class GroupedAtServerStrategy : public ServerStrategy {
 
   StrategyKind kind() const override { return StrategyKind::kGroupedAt; }
   Report BuildReport(SimTime now, uint64_t interval) override;
+  void BuildReportInto(SimTime now, uint64_t interval, Report* out) override;
+  bool AdvanceQuiet(SimTime now, uint64_t interval, const MessageSizes& sizes,
+                    uint64_t* bits) override;
+  Report MaterializeQuiet(SimTime now, uint64_t interval) override;
   SimTime JournalHorizonSeconds() const override { return latency_; }
 
   const ItemGrouping& grouping() const { return grouping_; }
 
  private:
+  /// Appends the window's changed groups (distinct, ascending) to `*out`.
+  /// UpdatedIn yields ascending ids and GroupOf is nondecreasing in id, so
+  /// consecutive dedup produces exactly the sorted distinct set.
+  void ChangedGroups(SimTime now, std::vector<uint32_t>* out);
+
   const Database* db_;
   SimTime latency_;
   ItemGrouping grouping_;
+  // Scratch for Database::UpdatedIn, reused across reports.
+  std::vector<UpdatedItem> delta_scratch_;
 };
 
 /// Client half: AT drop rules at group granularity.

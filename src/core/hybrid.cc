@@ -47,18 +47,16 @@ void HybridSigServerStrategy::AttachUpdateFeed(Database* db) {
   feed_attached_ = true;
 }
 
-Report HybridSigServerStrategy::BuildReport(SimTime now, uint64_t interval) {
-  HybridReport report;
-  report.interval = interval;
-  report.timestamp = now;
-  // One pass over the interval's changes: hot changes are listed explicitly,
-  // cold changes fold into the combined signatures.
+void HybridSigServerStrategy::FoldChangesThrough(
+    SimTime now, std::vector<ItemId>* hot_out) {
+  // One pass over the changes: hot changes are listed explicitly, cold
+  // changes fold into the combined signatures.
   if (feed_attached_) {
     for (ItemId id : dirty_ids_) {
       dirty_flags_[id] = 0;
       if (std::binary_search(hot_set_.begin(), hot_set_.end(), id)) {
         if (db_->LastUpdateOf(id) > now - latency_) {
-          report.hot_ids.push_back(id);
+          hot_out->push_back(id);
         }
       } else {
         state_.OnItemChanged(id);
@@ -69,7 +67,7 @@ Report HybridSigServerStrategy::BuildReport(SimTime now, uint64_t interval) {
     for (const UpdatedItem& item : db_->UpdatedIn(last_folded_, now)) {
       if (std::binary_search(hot_set_.begin(), hot_set_.end(), item.id)) {
         if (item.updated_at > now - latency_) {
-          report.hot_ids.push_back(item.id);
+          hot_out->push_back(item.id);
         }
       } else {
         state_.OnItemChanged(item.id);
@@ -77,7 +75,52 @@ Report HybridSigServerStrategy::BuildReport(SimTime now, uint64_t interval) {
     }
   }
   last_folded_ = now;
+}
+
+Report HybridSigServerStrategy::BuildReport(SimTime now, uint64_t interval) {
+  HybridReport report;
+  report.interval = interval;
+  report.timestamp = now;
+  FoldChangesThrough(now, &report.hot_ids);
   std::sort(report.hot_ids.begin(), report.hot_ids.end());
+  report.combined = state_.Combined();
+  return report;
+}
+
+void HybridSigServerStrategy::BuildReportInto(SimTime now, uint64_t interval,
+                                              Report* out) {
+  HybridReport* hy = std::get_if<HybridReport>(out);
+  if (hy == nullptr) hy = &out->emplace<HybridReport>();
+  hy->interval = interval;
+  hy->timestamp = now;
+  hy->hot_ids.clear();
+  FoldChangesThrough(now, &hy->hot_ids);
+  std::sort(hy->hot_ids.begin(), hy->hot_ids.end());
+  const std::vector<uint64_t>& combined = state_.Combined();
+  hy->combined.assign(combined.begin(), combined.end());
+}
+
+bool HybridSigServerStrategy::AdvanceQuiet(SimTime now, uint64_t interval,
+                                           const MessageSizes& sizes,
+                                           uint64_t* bits) {
+  (void)interval;
+  quiet_hot_scratch_.clear();
+  FoldChangesThrough(now, &quiet_hot_scratch_);
+  std::sort(quiet_hot_scratch_.begin(), quiet_hot_scratch_.end());
+  quiet_now_ = now;
+  // Hot half AT-style plus m cold signatures (§10 weighted accounting).
+  *bits = quiet_hot_scratch_.size() * sizes.id_bits +
+          state_.Combined().size() * sizes.sig_bits;
+  return true;
+}
+
+Report HybridSigServerStrategy::MaterializeQuiet(SimTime now,
+                                                 uint64_t interval) {
+  assert(quiet_now_ == now && last_folded_ == now);
+  HybridReport report;
+  report.interval = interval;
+  report.timestamp = now;
+  report.hot_ids = quiet_hot_scratch_;
   report.combined = state_.Combined();
   return report;
 }

@@ -29,12 +29,21 @@ class HybridSigServerStrategy : public ServerStrategy {
 
   StrategyKind kind() const override { return StrategyKind::kHybridSig; }
   Report BuildReport(SimTime now, uint64_t interval) override;
+  void BuildReportInto(SimTime now, uint64_t interval, Report* out) override;
+  bool AdvanceQuiet(SimTime now, uint64_t interval, const MessageSizes& sizes,
+                    uint64_t* bits) override;
+  Report MaterializeQuiet(SimTime now, uint64_t interval) override;
   void AttachUpdateFeed(Database* db) override;
   SimTime JournalHorizonSeconds() const override { return latency_; }
 
   const std::vector<ItemId>& hot_set() const { return hot_set_; }
 
  private:
+  /// One pass over the changes since the last snapshot: cold changes fold
+  /// into the combined signatures, changed hot ids land in `*hot_out`
+  /// (unsorted — callers sort).
+  void FoldChangesThrough(SimTime now, std::vector<ItemId>* hot_out);
+
   const Database* db_;
   const SignatureFamily* family_;
   SimTime latency_;
@@ -46,6 +55,10 @@ class HybridSigServerStrategy : public ServerStrategy {
   bool feed_attached_ = false;
   std::vector<uint8_t> dirty_flags_;
   std::vector<ItemId> dirty_ids_;
+  // Hot ids of the interval most recently consumed by AdvanceQuiet, kept so
+  // MaterializeQuiet can reconstruct the elided report.
+  std::vector<ItemId> quiet_hot_scratch_;
+  SimTime quiet_now_ = 0.0;
 };
 
 /// Client half: AT rules for cached hot items (including the drop-on-missed-

@@ -21,6 +21,24 @@ class NullServerStrategy : public ServerStrategy {
     report.timestamp = now;
     return report;
   }
+  void BuildReportInto(SimTime now, uint64_t interval,
+                       Report* out) override {
+    NullReport* null = std::get_if<NullReport>(out);
+    if (null == nullptr) null = &out->emplace<NullReport>();
+    null->interval = interval;
+    null->timestamp = now;
+  }
+  bool AdvanceQuiet(SimTime now, uint64_t interval, const MessageSizes& sizes,
+                    uint64_t* bits) override {
+    (void)now;
+    (void)interval;
+    (void)sizes;
+    *bits = 0;  // Bc = 0: empty reports, no state to advance.
+    return true;
+  }
+  Report MaterializeQuiet(SimTime now, uint64_t interval) override {
+    return BuildReport(now, interval);
+  }
   SimTime JournalHorizonSeconds() const override { return 0.0; }
 };
 

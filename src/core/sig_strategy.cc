@@ -26,9 +26,7 @@ void SigServerStrategy::AttachUpdateFeed(Database* db) {
   feed_attached_ = true;
 }
 
-Report SigServerStrategy::BuildReport(SimTime now, uint64_t interval) {
-  // Fold every item changed since the last snapshot into the combined
-  // signatures, then broadcast the current m signatures.
+void SigServerStrategy::FoldChangesThrough(SimTime now) {
   if (feed_attached_) {
     for (ItemId id : dirty_ids_) {
       state_.OnItemChanged(id);
@@ -41,7 +39,44 @@ Report SigServerStrategy::BuildReport(SimTime now, uint64_t interval) {
     }
   }
   last_folded_ = now;
+}
 
+Report SigServerStrategy::BuildReport(SimTime now, uint64_t interval) {
+  // Fold every item changed since the last snapshot into the combined
+  // signatures, then broadcast the current m signatures.
+  FoldChangesThrough(now);
+
+  SigReport report;
+  report.interval = interval;
+  report.timestamp = now;
+  report.combined = state_.Combined();
+  return report;
+}
+
+void SigServerStrategy::BuildReportInto(SimTime now, uint64_t interval,
+                                        Report* out) {
+  FoldChangesThrough(now);
+  SigReport* sig = std::get_if<SigReport>(out);
+  if (sig == nullptr) sig = &out->emplace<SigReport>();
+  sig->interval = interval;
+  sig->timestamp = now;
+  const std::vector<uint64_t>& combined = state_.Combined();
+  sig->combined.assign(combined.begin(), combined.end());
+}
+
+bool SigServerStrategy::AdvanceQuiet(SimTime now, uint64_t interval,
+                                     const MessageSizes& sizes,
+                                     uint64_t* bits) {
+  (void)interval;
+  // SIG reports are the current state: advancing is just folding, and the
+  // size is fixed at m signatures (Eq. 25: m * g).
+  FoldChangesThrough(now);
+  *bits = state_.Combined().size() * sizes.sig_bits;
+  return true;
+}
+
+Report SigServerStrategy::MaterializeQuiet(SimTime now, uint64_t interval) {
+  assert(last_folded_ == now);
   SigReport report;
   report.interval = interval;
   report.timestamp = now;

@@ -27,10 +27,18 @@ class SigServerStrategy : public ServerStrategy {
 
   StrategyKind kind() const override { return StrategyKind::kSig; }
   Report BuildReport(SimTime now, uint64_t interval) override;
+  void BuildReportInto(SimTime now, uint64_t interval, Report* out) override;
+  bool AdvanceQuiet(SimTime now, uint64_t interval, const MessageSizes& sizes,
+                    uint64_t* bits) override;
+  Report MaterializeQuiet(SimTime now, uint64_t interval) override;
   void AttachUpdateFeed(Database* db) override;
   SimTime JournalHorizonSeconds() const override { return latency_; }
 
  private:
+  /// Folds every item changed since the last snapshot into the combined
+  /// signatures (the state-advance half of BuildReport).
+  void FoldChangesThrough(SimTime now);
+
   const Database* db_;
   const SignatureFamily* family_;
   SimTime latency_;

@@ -1,6 +1,14 @@
 #include "core/strategy.h"
 
+#include <cassert>
+
 namespace mobicache {
+
+Report ServerStrategy::MaterializeQuiet(SimTime /*now*/,
+                                        uint64_t /*interval*/) {
+  assert(false && "MaterializeQuiet without a preceding AdvanceQuiet");
+  return Report{};
+}
 
 std::string_view StrategyName(StrategyKind kind) {
   switch (kind) {

@@ -15,12 +15,9 @@ TsServerStrategy::TsServerStrategy(const Database* db, SimTime latency,
   assert(window_intervals >= 1);
 }
 
-Report TsServerStrategy::BuildReport(SimTime now, uint64_t interval) {
-  TsReport report;
-  report.interval = interval;
-  report.timestamp = now;
-  report.window = window_;
+void TsServerStrategy::AdvanceEntries(SimTime now, uint64_t interval) {
   const SimTime lo = now - window_;
+  next_scratch_.clear();
   // U_i = { [j, t_j] : T_i - w < t_j <= T_i }  (Eq. 1)
   if (have_prev_ && interval == prev_interval_ + 1) {
     // Consecutive interval: the previous report already lists every id whose
@@ -29,30 +26,70 @@ Report TsServerStrategy::BuildReport(SimTime now, uint64_t interval) {
     // entries supersede stale carried ones. Both inputs are id-sorted, so a
     // single merge yields the id-sorted result UpdatedIn would have built.
     db_->UpdatedIn(prev_now_, now, &delta_scratch_);
-    report.entries.reserve(prev_entries_.size() + delta_scratch_.size());
+    next_scratch_.reserve(prev_entries_.size() + delta_scratch_.size());
     auto d = delta_scratch_.begin();
     for (const TsReportEntry& e : prev_entries_) {
       while (d != delta_scratch_.end() && d->id < e.id) {
-        report.entries.push_back(TsReportEntry{d->id, d->updated_at});
+        next_scratch_.push_back(TsReportEntry{d->id, d->updated_at});
         ++d;
       }
       if (d != delta_scratch_.end() && d->id == e.id) continue;  // superseded
       if (e.updated_at <= lo) continue;  // aged out of w
-      report.entries.push_back(e);
+      next_scratch_.push_back(e);
     }
     for (; d != delta_scratch_.end(); ++d) {
-      report.entries.push_back(TsReportEntry{d->id, d->updated_at});
+      next_scratch_.push_back(TsReportEntry{d->id, d->updated_at});
     }
   } else {
     db_->UpdatedIn(lo, now, &delta_scratch_);
     for (const UpdatedItem& item : delta_scratch_) {
-      report.entries.push_back(TsReportEntry{item.id, item.updated_at});
+      next_scratch_.push_back(TsReportEntry{item.id, item.updated_at});
     }
   }
   have_prev_ = true;
   prev_interval_ = interval;
   prev_now_ = now;
-  prev_entries_ = report.entries;
+  prev_entries_.swap(next_scratch_);
+}
+
+Report TsServerStrategy::BuildReport(SimTime now, uint64_t interval) {
+  AdvanceEntries(now, interval);
+  TsReport report;
+  report.interval = interval;
+  report.timestamp = now;
+  report.window = window_;
+  report.entries = prev_entries_;
+  return report;
+}
+
+void TsServerStrategy::BuildReportInto(SimTime now, uint64_t interval,
+                                       Report* out) {
+  AdvanceEntries(now, interval);
+  TsReport* ts = std::get_if<TsReport>(out);
+  if (ts == nullptr) ts = &out->emplace<TsReport>();
+  ts->interval = interval;
+  ts->timestamp = now;
+  ts->window = window_;
+  ts->entries.assign(prev_entries_.begin(), prev_entries_.end());
+}
+
+bool TsServerStrategy::AdvanceQuiet(SimTime now, uint64_t interval,
+                                    const MessageSizes& sizes,
+                                    uint64_t* bits) {
+  AdvanceEntries(now, interval);
+  // Eq. 16: nc * (log n + bT), exactly ReportSizeBits of the TS report the
+  // advanced window would materialize.
+  *bits = prev_entries_.size() * (sizes.id_bits + sizes.bT);
+  return true;
+}
+
+Report TsServerStrategy::MaterializeQuiet(SimTime now, uint64_t interval) {
+  assert(have_prev_ && prev_interval_ == interval && prev_now_ == now);
+  TsReport report;
+  report.interval = interval;
+  report.timestamp = now;
+  report.window = window_;
+  report.entries = prev_entries_;
   return report;
 }
 

@@ -25,12 +25,22 @@ class TsServerStrategy : public ServerStrategy {
 
   StrategyKind kind() const override { return StrategyKind::kTs; }
   Report BuildReport(SimTime now, uint64_t interval) override;
+  void BuildReportInto(SimTime now, uint64_t interval, Report* out) override;
+  bool AdvanceQuiet(SimTime now, uint64_t interval, const MessageSizes& sizes,
+                    uint64_t* bits) override;
+  Report MaterializeQuiet(SimTime now, uint64_t interval) override;
   SimTime JournalHorizonSeconds() const override { return window_; }
 
   SimTime window() const { return window_; }
   uint64_t window_intervals() const { return window_intervals_; }
 
  private:
+  /// The incremental step shared by every build flavour: advances
+  /// `prev_entries_` to the window ending at (now, interval) — carry, expire,
+  /// splice the one-interval delta — through `next_scratch_`, so the quiet
+  /// path costs the same merge with no report materialization.
+  void AdvanceEntries(SimTime now, uint64_t interval);
+
   const Database* db_;
   SimTime latency_;
   uint64_t window_intervals_;
@@ -45,6 +55,9 @@ class TsServerStrategy : public ServerStrategy {
   // Scratch for Database::UpdatedIn, reused across reports so the steady
   // state builds every report without a fresh delta allocation.
   std::vector<UpdatedItem> delta_scratch_;
+  // Merge target that becomes the next prev_entries_ (swapped, so both
+  // vectors stay warm across intervals).
+  std::vector<TsReportEntry> next_scratch_;
 };
 
 /// TS client half: implements the §3.1 client algorithm.

@@ -17,10 +17,12 @@ namespace {
 /// near enough that the line is still resident when the cursor arrives.
 constexpr size_t kDigestPrefetchDistance = 8;
 
-/// Recycled bucket storages kept around after pruning. Steady state churns
-/// one bucket per interval; a few spares also absorb the occasional prune
-/// burst without growing the free list unboundedly.
-constexpr size_t kMaxSpareBuckets = 4;
+/// Recycled bucket storages kept around after pruning. The server batches
+/// pruning (ServerConfig::journal_prune_period_intervals, default 8), so a
+/// prune drops that many buckets at once; the bound must absorb the whole
+/// burst or the overflow loses its storage and the next appends have to
+/// re-allocate it — breaking the allocation-free steady state.
+constexpr size_t kMaxSpareBuckets = 32;
 
 /// First index in the ascending `times` with times[i] > t (vector-wide
 /// upper bound), as an index rather than an iterator.
@@ -141,7 +143,7 @@ void Database::ApplyUpdate(ItemId id, SimTime now) {
   HotItem& item = hot_[id];
   ++item.version;
   item.last_update = now;
-  AppendJournal(id, now);
+  if (journal_enabled_) AppendJournal(id, now);
   ++total_updates_;
   if (single_observer_ != nullptr) {
     (*single_observer_)(id, now);
@@ -162,6 +164,18 @@ void Database::RebuildObserverFastPath() {
   }
   single_observer_ = live == 1 ? only : nullptr;
   multi_observers_ = live > 1;
+}
+
+void Database::SetJournalEnabled(bool enabled) {
+  if (enabled == journal_enabled_) return;
+  journal_enabled_ = enabled;
+  if (!enabled) {
+    buckets_.clear();
+    spare_buckets_.clear();
+    journal_entries_ = 0;
+    append_times_cursor_ = nullptr;
+    append_ids_cursor_ = nullptr;
+  }
 }
 
 void Database::SetJournalBucketWidth(SimTime width) {
@@ -192,6 +206,7 @@ std::vector<UpdatedItem> Database::UpdatedIn(SimTime lo, SimTime hi) const {
 
 void Database::UpdatedIn(SimTime lo, SimTime hi,
                          std::vector<UpdatedItem>* out) const {
+  assert(journal_enabled_ && "window query against a disabled journal");
   out->clear();
   if (hi <= lo) return;
   // Per-bucket id-sorted segments, merged pairwise below.
@@ -252,6 +267,7 @@ void Database::UpdatedIn(SimTime lo, SimTime hi,
 }
 
 uint64_t Database::CountUpdatedIn(SimTime lo, SimTime hi) const {
+  assert(journal_enabled_ && "window query against a disabled journal");
   uint64_t count = 0;
   if (hi <= lo) return count;
   for (const Bucket& bucket : buckets_) {
@@ -275,6 +291,7 @@ uint64_t Database::CountUpdatedIn(SimTime lo, SimTime hi) const {
 }
 
 std::vector<UpdatedItem> Database::JournalIn(SimTime lo, SimTime hi) const {
+  assert(journal_enabled_ && "journal scan against a disabled journal");
   std::vector<UpdatedItem> out;
   if (hi <= lo) return out;
   for (const Bucket& bucket : buckets_) {
@@ -291,6 +308,7 @@ std::vector<UpdatedItem> Database::JournalIn(SimTime lo, SimTime hi) const {
 
 uint64_t Database::VersionAt(ItemId id, SimTime t) const {
   assert(id < n_);
+  assert(journal_enabled_ && "historical read against a disabled journal");
   uint64_t after = 0;
   // Updates strictly after t are still in the journal (caller's contract).
   for (const Bucket& bucket : buckets_) {

@@ -29,8 +29,8 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -160,6 +160,15 @@ class Database {
   void SetJournalBucketWidth(SimTime width);
   SimTime journal_bucket_width() const { return bucket_width_; }
 
+  /// Disables (or re-enables) the update journal. A no-caching cell builds
+  /// empty reports and never issues a window query, so journaling its update
+  /// stream — two appends plus a prune per interval — is pure overhead on
+  /// the hottest path in the simulator. Disabling drops any existing
+  /// entries; the history readers (UpdatedIn, JournalIn, VersionAt) assert
+  /// the journal is live, so misuse fails loudly in debug builds.
+  void SetJournalEnabled(bool enabled);
+  bool journal_enabled() const { return journal_enabled_; }
+
   /// Installs a callback invoked after every ApplyUpdate. Used by the
   /// stateful-server baseline, which reacts to individual updates instead of
   /// building periodic reports. Pass nullptr to remove.
@@ -206,6 +215,58 @@ class Database {
     bool sealed = false;  ///< The clock has moved past this bucket.
   };
 
+  /// FIFO of journal buckets over a flat vector: pop_front leaves a dead
+  /// prefix behind and the push path compacts it away with element moves
+  /// once it dominates. Unlike a deque there are no chunk nodes to churn, so
+  /// the steady state (one bucket pushed, one popped per interval, storage
+  /// recycled through the spare list) performs zero heap allocations; moves
+  /// never touch the inner arrays, so cached pointers into a bucket's
+  /// times/ids storage survive compaction.
+  class BucketFifo {
+   public:
+    bool empty() const { return head_ == store_.size(); }
+    size_t size() const { return store_.size() - head_; }
+    Bucket& front() { return store_[head_]; }
+    const Bucket& front() const { return store_[head_]; }
+    Bucket& back() { return store_.back(); }
+    const Bucket& back() const { return store_.back(); }
+    Bucket* begin() { return store_.data() + head_; }
+    Bucket* end() { return store_.data() + store_.size(); }
+    const Bucket* begin() const { return store_.data() + head_; }
+    const Bucket* end() const { return store_.data() + store_.size(); }
+
+    Bucket& emplace_back() {
+      MaybeCompact();
+      return store_.emplace_back();
+    }
+    void push_back(Bucket&& bucket) {
+      MaybeCompact();
+      store_.push_back(std::move(bucket));
+    }
+    /// Drops the front bucket (the caller has already salvaged its storage
+    /// via RecycleBucket); the shell stays behind until compaction.
+    void pop_front() { ++head_; }
+    void clear() {
+      store_.clear();
+      head_ = 0;
+    }
+
+   private:
+    void MaybeCompact() {
+      if (head_ == store_.size()) {
+        store_.clear();
+        head_ = 0;
+      } else if (head_ > 8 && head_ * 2 > store_.size()) {
+        store_.erase(store_.begin(),
+                     store_.begin() + static_cast<ptrdiff_t>(head_));
+        head_ = 0;
+      }
+    }
+
+    std::vector<Bucket> store_;
+    size_t head_ = 0;
+  };
+
   uint64_t SyntheticValueFor(ItemId id, uint64_t version) const {
     return SyntheticValue(seed_, id, version);
   }
@@ -221,7 +282,7 @@ class Database {
 
   uint64_t n_ = 0;
   HotItem* hot_ = nullptr;  ///< 64-byte-aligned slab of n_ records.
-  std::deque<Bucket> buckets_;  // ascending index; times never empty
+  BucketFifo buckets_;  // ascending index; times never empty
   /// One-past-the-end of the tail bucket's SoA arrays, refreshed by every
   /// AppendJournal — PrefetchItem's journal-append hint (see above).
   const SimTime* append_times_cursor_ = nullptr;
@@ -229,6 +290,7 @@ class Database {
   std::vector<Bucket> spare_buckets_;  ///< Recycled storage (bounded).
   size_t journal_entries_ = 0;
   SimTime bucket_width_ = 0.0;
+  bool journal_enabled_ = true;
   uint64_t total_updates_ = 0;
   uint64_t seed_;
   std::function<void(ItemId, SimTime)> observer_;

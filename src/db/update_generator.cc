@@ -55,9 +55,15 @@ void UpdateGenerator::ScheduleNext() {
 }
 
 void UpdateGenerator::Fire() {
-  db_->ApplyUpdate(next_item_, sim_->Now());
-  ++updates_generated_;
+  const ItemId item = next_item_;
+  // Draw and schedule the follow-up update *before* applying this one: the
+  // draws touch no database state (same RNG order as before — gap then item,
+  // once per cycle), and the freshly sampled item's prefetch then has this
+  // update's slab write and observer work as extra distance to hide its
+  // DRAM miss behind, instead of only the next dispatch's heap operations.
   ScheduleNext();
+  db_->ApplyUpdate(item, sim_->Now());
+  ++updates_generated_;
 }
 
 ItemId UpdateGenerator::SampleItem() {

@@ -48,6 +48,12 @@ Status Cell::Build() {
   // its heap or slot slab mid-run.
   sim_->Reserve(2 * config_.num_units + 16);
   db_ = std::make_unique<Database>(m.n, db_seed);
+  if (config_.strategy == StrategyKind::kNoCache) {
+    // No-caching cells build empty reports and never issue a window query,
+    // so journaling the update stream is pure overhead. (kIdeal/kStateful/
+    // kAsync keep it: tests read historical values through ValueAt.)
+    db_->SetJournalEnabled(false);
+  }
   if (config_.update_rates.empty()) {
     updates_ = std::make_unique<UpdateGenerator>(sim_.get(), db_.get(), m.mu,
                                                  update_seed);
@@ -92,9 +98,12 @@ Status Cell::Build() {
   ServerConfig sc;
   sc.latency = m.L;
   sc.sizes = sizes_;
+  sc.quiet_elision = config_.quiet_elision;
   server_ = std::make_unique<Server>(sim_.get(), db_.get(), channel_.get(),
                                      MakeServerStrategy(ctx), delivery_.get(),
                                      sc);
+  wake_index_.Resize(config_.num_units);
+  server_->AttachWakeIndex(&wake_index_);
 
   Rng hotspot_rng(hotspot_seed);
   const std::vector<ItemId> shared =
@@ -137,6 +146,7 @@ Status Cell::Build() {
       unit->SetDropCacheOnWake(true);
       async_->AttachUnit(unit.get());
     }
+    unit->BindWakeIndex(&wake_index_, static_cast<uint32_t>(i));
     server_->AttachUnit(unit.get());
     units_.push_back(std::move(unit));
   }
@@ -175,6 +185,9 @@ Status Cell::Run(uint64_t warmup_intervals, uint64_t measure_intervals) {
   sim_->RunUntil(warmup_end + static_cast<double>(measure_intervals) * L);
   server_->Stop();
   updates_->Stop();
+  // Sleepers never observe deliveries in wake-index mode; settle their
+  // missed counts while the units still outlive the server.
+  server_->SettleUnitStats();
   measure_intervals_ = measure_intervals;
   ran_ = true;
   return Status::OK();
@@ -204,6 +217,7 @@ CellResult Cell::result() const {
       latency_samples == 0 ? 0.0 : latency_sum / static_cast<double>(latency_samples);
   r.reports_broadcast = server_->stats().reports_broadcast;
   r.quiet_report_intervals = server_->stats().quiet_report_intervals;
+  r.quiet_skipped_intervals = server_->stats().quiet_skipped_intervals;
   r.avg_report_bits = server_->stats().report_bits.mean();
   if (async_ != nullptr && measure_intervals_ > 0) {
     // Asynchronous mode has no periodic report; its per-interval broadcast

@@ -20,6 +20,7 @@
 #include "db/database.h"
 #include "db/update_generator.h"
 #include "mu/mobile_unit.h"
+#include "mu/wake_index.h"
 #include "net/channel.h"
 #include "net/delivery.h"
 #include "server/async_broadcaster.h"
@@ -89,6 +90,11 @@ struct CellConfig {
   /// When non-empty this overrides the uniform rate model.mu; the weighted
   /// and adaptive benches use it for hot/cold item mixes.
   std::vector<double> update_rates;
+
+  /// Quiet-interval elision (see ServerConfig::quiet_elision). On by
+  /// default; the equivalence tests run both settings and require
+  /// byte-identical results.
+  bool quiet_elision = true;
 };
 
 struct CellResult {
@@ -105,6 +111,9 @@ struct CellResult {
   /// Measured intervals whose report delivery found every unit asleep
   /// (pure downlink waste; see ServerStats::quiet_report_intervals).
   uint64_t quiet_report_intervals = 0;
+  /// The subset of quiet intervals the server skipped building/fanning out
+  /// entirely (see ServerStats::quiet_skipped_intervals).
+  uint64_t quiet_skipped_intervals = 0;
   double measured_sleep_fraction = 0.0;
   uint64_t items_invalidated = 0;
   double listen_seconds_total = 0.0;
@@ -149,6 +158,14 @@ class Cell {
   std::vector<MobileUnit*> units();
   const CellConfig& config() const { return config_; }
 
+  /// Wall time the server spent in its broadcast path over the whole run
+  /// (warmup included; see Server::broadcast_wall_seconds). The classic
+  /// interleaved engine has no phase barriers, so this is its counterpart
+  /// to MegaCell::server_wall_seconds().
+  double server_wall_seconds() const {
+    return server_ == nullptr ? 0.0 : server_->broadcast_wall_seconds();
+  }
+
  private:
   CellConfig config_;
   MessageSizes sizes_;
@@ -165,6 +182,9 @@ class Cell {
   std::unique_ptr<StatefulRegistry> registry_;
   std::unique_ptr<AsyncBroadcaster> async_;
   std::unique_ptr<Server> server_;
+  /// Awake bitmap + wake horizon over all units; maintained by the units'
+  /// interval ticks, read by the server's fan-out and elision checks.
+  WakeIndex wake_index_;
   uint64_t measure_intervals_ = 0;
   std::vector<std::unique_ptr<MobileUnit>> units_;
 };

@@ -1,6 +1,7 @@
 #include "exp/megacell.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <chrono>
 #include <utility>
@@ -8,6 +9,7 @@
 #include "exp/strategy_factory.h"
 #include "mu/hotspot.h"
 #include "mu/sleep_model.h"
+#include "mu/wake_index.h"
 #include "util/random.h"
 
 namespace mobicache {
@@ -67,34 +69,40 @@ struct MegaCell::Shard {
     log.push_back(std::move(rec));
   }
 
-  /// Delivers one report to the slice: the sleeping/immediate-mode units
-  /// are settled entirely from the SoA lanes; only awake report-consuming
-  /// units dereference their MobileUnit. Returns how many units heard it —
-  /// the barrier sums the counts across shards into the quiet-interval
-  /// counter.
+  /// Delivers one report to the slice by walking the awake bitmap — the
+  /// visit order (ascending local index) matches the old all-units loop,
+  /// minus the sleepers, whose missed counts are settled at harvest time as
+  /// deliveries_completed - heard (see MegaCell::UnitStats). Returns how
+  /// many units heard it — the barrier sums the counts across shards into
+  /// the quiet-interval counter.
   uint64_t FanOut(const Report& report, double listen_seconds) {
-    const size_t n = units.size();
     uint64_t heard = 0;
-    for (size_t i = 0; i < n; ++i) {
-      if (!soa.awake[i]) {
-        ++soa.reports_missed[i];
-        continue;
+    const std::vector<uint64_t>& words = wake_index.awake_words();
+    for (size_t w = 0; w < words.size(); ++w) {
+      uint64_t word = words[w];
+      while (word != 0) {
+        const size_t i =
+            w * 64 + static_cast<size_t>(std::countr_zero(word));
+        word &= word - 1;
+        ++heard;
+        ++soa.reports_heard[i];
+        soa.listen_seconds[i] += listen_seconds;
+        if (!soa.immediate[i]) units[i]->OnReportDelivery(report);
       }
-      ++heard;
-      ++soa.reports_heard[i];
-      soa.listen_seconds[i] += listen_seconds;
-      if (soa.immediate[i]) continue;
-      units[i]->OnReportDelivery(report);
     }
     return heard;
   }
 
   /// Asynchronous-mode invalidation fan-out (AsyncBroadcaster::OnUpdate's
-  /// per-unit half, restricted to this slice).
+  /// per-unit half, restricted to this slice's awake units).
   void PushInvalidateAwake(ItemId id) {
-    const size_t n = units.size();
-    for (size_t i = 0; i < n; ++i) {
-      if (soa.awake[i]) {
+    const std::vector<uint64_t>& words = wake_index.awake_words();
+    for (size_t w = 0; w < words.size(); ++w) {
+      uint64_t word = words[w];
+      while (word != 0) {
+        const size_t i =
+            w * 64 + static_cast<size_t>(std::countr_zero(word));
+        word &= word - 1;
         units[i]->PushInvalidate(id);
         ++async_deliveries;
       }
@@ -103,6 +111,10 @@ struct MegaCell::Shard {
 
   Simulator sim;
   MuHotSoA soa;
+  /// Awake bitmap + wake horizon for this slice. Units publish transitions
+  /// at their shard-phase ticks; the (serial) server phase reads every
+  /// shard's index for the elision check — the phases never overlap.
+  WakeIndex wake_index;
   std::vector<std::unique_ptr<MobileUnit>> units;
   /// SIG strategies: deterministic per-shard replica of the signature
   /// family (its subset-expansion memo is not thread-safe to share).
@@ -159,6 +171,10 @@ Status MegaCell::Build() {
   sim_ = std::make_unique<Simulator>();
   sim_->Reserve(1024);
   db_ = std::make_unique<Database>(m.n, db_seed);
+  if (cc.strategy == StrategyKind::kNoCache) {
+    // Same journal elision as Cell::Build: no-caching cells never read it.
+    db_->SetJournalEnabled(false);
+  }
   if (cc.update_rates.empty()) {
     updates_ = std::make_unique<UpdateGenerator>(sim_.get(), db_.get(), m.mu,
                                                  update_seed);
@@ -192,6 +208,7 @@ Status MegaCell::Build() {
   ServerConfig sc;
   sc.latency = m.L;
   sc.sizes = sizes_;
+  sc.quiet_elision = cc.quiet_elision;
   server_ = std::make_unique<Server>(sim_.get(), db_.get(), channel_.get(),
                                      MakeServerStrategy(server_ctx),
                                      delivery_.get(), sc);
@@ -220,6 +237,10 @@ Status MegaCell::Build() {
     auto shard = std::make_unique<Shard>(db_.get());
     const uint64_t count = shard_offset_[s + 1] - shard_offset_[s];
     shard->soa.Resize(count);
+    shard->wake_index.Resize(count);
+    // The server aggregates the shards' indexes for the wake-horizon check
+    // only — fan-out happens shard-side through the delivery sink.
+    server_->AttachWakeIndex(&shard->wake_index);
     shard->units.reserve(count);
     shard->sim.Reserve(2 * count + 1024);
     if (sig_strategy) {
@@ -289,6 +310,7 @@ Status MegaCell::Build() {
     }
     if (async_mode_) unit->SetDropCacheOnWake(true);
     unit->BindHotState(&sh.soa, local);
+    unit->BindWakeIndex(&sh.wake_index, local);
     sh.units.push_back(std::move(unit));
   }
 
@@ -300,13 +322,21 @@ Status MegaCell::Build() {
 
 void MegaCell::ReplayWindow() {
   // Quiet-interval accounting: a delivery was quiet when no shard's slice
-  // heard it. (The server's own counter stays zero in sharded mode — the
-  // delivery sink bypasses its fan-out.)
+  // heard it. A null report is an elided quiet interval — the server proved
+  // every unit sleeps through it, so it is both quiet and skipped. (The
+  // server's own counters stay zero in sharded mode — the delivery sink
+  // bypasses its fan-out.)
   for (size_t k = 0; k < pending_deliveries_.size(); ++k) {
+    if (pending_deliveries_[k].report == nullptr) {
+      ++quiet_report_intervals_;
+      ++quiet_skipped_intervals_;
+      continue;
+    }
     uint64_t heard = 0;
     for (const auto& shard : shards_) heard += shard->delivery_heard[k];
     if (heard == 0) ++quiet_report_intervals_;
   }
+  deliveries_completed_ += pending_deliveries_.size();
 
   // K-way merge of the per-shard logs (each already time-sorted) plus, in
   // asynchronous mode, the update trace (each update is one id-sized
@@ -473,6 +503,9 @@ void MegaCell::AdvanceWindow(SimTime cut, bool inclusive) {
       // phase, and a by-value ReportDelivery capture would copy its
       // shared_ptr (two refcount RMWs per shard per delivery).
       const Server::ReportDelivery* d = &pending_deliveries_[k];
+      // Elided quiet interval: no unit anywhere can hear it, so there is
+      // nothing to schedule (delivery_heard[k] stays 0).
+      if (d->report == nullptr) continue;
       Shard* raw = &sh;
       sh.sim.ScheduleAt(d->done, [raw, d, k] {
         raw->delivery_heard[k] = raw->FanOut(*d->report, d->listen_seconds);
@@ -512,6 +545,8 @@ void MegaCell::ResetAllStats() {
   channel_->ResetStats();
   async_messages_ = 0;
   quiet_report_intervals_ = 0;
+  quiet_skipped_intervals_ = 0;
+  deliveries_completed_ = 0;
   for (auto& shard : shards_) {
     if (shard->registry != nullptr) shard->registry->ResetStats();
     shard->async_deliveries = 0;
@@ -580,11 +615,14 @@ MobileUnitStats MegaCell::UnitStats(uint64_t global_index) const {
   // Fold the SoA-owned broadcast counters into the unit's own stats. The
   // unit's copies of those fields are identically zero for bound units, so
   // the fold is exact (0 + x) and the listen_seconds accumulation order is
-  // the unit's own delivery order, same as in Cell.
+  // the unit's own delivery order, same as in Cell. The bitmap fan-out
+  // never visits sleepers, so missed counts are settled here from the
+  // identity missed = deliveries_completed - heard (elided deliveries
+  // included — nobody heard those by construction).
   MobileUnitStats st = sh.units[local]->stats();
   st.reports_heard += sh.soa.reports_heard[local];
-  st.reports_missed += sh.soa.reports_missed[local];
   st.listen_seconds += sh.soa.listen_seconds[local];
+  st.reports_missed = deliveries_completed_ - st.reports_heard;
   return st;
 }
 
@@ -616,6 +654,7 @@ CellResult MegaCell::result() const {
           : latency_sum / static_cast<double>(latency_samples);
   r.reports_broadcast = server_->stats().reports_broadcast;
   r.quiet_report_intervals = quiet_report_intervals_;
+  r.quiet_skipped_intervals = quiet_skipped_intervals_;
   r.avg_report_bits = server_->stats().report_bits.mean();
   if (async_mode_ && measure_intervals_ > 0) {
     // Asynchronous mode has no periodic report; its per-interval broadcast

@@ -202,6 +202,12 @@ class MegaCell {
   /// ServerStats::quiet_report_intervals, which the sharded engine bypasses
   /// via the delivery sink.
   uint64_t quiet_report_intervals_ = 0;
+  /// Quiet intervals the server elided outright (null-report deliveries);
+  /// mirrors ServerStats::quiet_skipped_intervals.
+  uint64_t quiet_skipped_intervals_ = 0;
+  /// Report deliveries completed since the last stats reset (elided ones
+  /// included); per-unit reports_missed = deliveries_completed_ - heard.
+  uint64_t deliveries_completed_ = 0;
   std::vector<MegaCellShardStats> shard_stats_;
   double server_wall_seconds_ = 0.0;
   double shard_phase_wall_seconds_ = 0.0;

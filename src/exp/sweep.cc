@@ -203,6 +203,8 @@ StatusOr<SweepResult> RunScenarioSweepWithIdBits(
       if (!measured.has_value()) continue;
       ++result.simulated_cells;
       result.sim_events += measured->sim_events;
+      result.quiet_report_intervals += measured->quiet_report_intervals;
+      result.quiet_skipped_intervals += measured->quiet_skipped_intervals;
     }
   }
   return result;

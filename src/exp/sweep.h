@@ -60,6 +60,11 @@ struct SweepResult {
   /// actually simulated and how many discrete events they dispatched.
   uint64_t simulated_cells = 0;
   uint64_t sim_events = 0;
+  /// Summed over the simulated cells: measured intervals whose delivery
+  /// found every unit asleep, and the subset the server's quiet-interval
+  /// elision skipped entirely (always <= quiet_report_intervals).
+  uint64_t quiet_report_intervals = 0;
+  uint64_t quiet_skipped_intervals = 0;
   /// Wall time of each simulated cell, in deterministic grid order
   /// (strategy-major, then sweep point) regardless of thread interleaving.
   /// Feeds the bench JSON's per-cell breakdown.

@@ -1,16 +1,19 @@
 // Structure-of-arrays hot state for a shard's mobile-unit population. The
 // sharded cell engine fans each report delivery out to 10^5+ units; with the
-// hot per-unit fields (sleep state, broadcast counters) packed into parallel
-// arrays the fan-out loop streams a few contiguous lanes instead of
-// pointer-chasing through unique_ptr<MobileUnit> — the common
-// sleeping/immediate-mode units are decided from one byte lane and never
-// touch the unit object at all.
+// hot per-unit fields packed into parallel arrays the fan-out loop streams a
+// few contiguous lanes instead of pointer-chasing through
+// unique_ptr<MobileUnit>.
 //
-// A MobileUnit bound to a SoA slot (MobileUnit::BindHotState) mirrors its
-// sleep state into the lanes; the broadcast counters (reports heard/missed,
-// listen seconds) are then *owned* by the SoA — the engine's fan-out loop
-// writes them and the unit's own stats_ copies stay zero — so harvesting
-// folds `stats_ + soa` without double counting.
+// The awake *set* itself lives in the shard's WakeIndex bitmap (see
+// wake_index.h) — fan-out iterates awake units directly, so sleepers are
+// never visited and need no missed-report lane: reports_missed is settled at
+// harvest time as deliveries_completed - reports_heard.
+//
+// A MobileUnit bound to a SoA slot (MobileUnit::BindHotState) hands
+// ownership of the broadcast counters (reports heard, listen seconds) to the
+// SoA — the engine's fan-out loop writes them and the unit's own stats_
+// copies stay zero — so harvesting folds `stats_ + soa` without double
+// counting.
 
 #ifndef MOBICACHE_MU_HOT_STATE_H_
 #define MOBICACHE_MU_HOT_STATE_H_
@@ -22,27 +25,22 @@
 namespace mobicache {
 
 struct MuHotSoA {
-  std::vector<uint8_t> awake;          ///< 1 while awake for this interval.
   std::vector<uint8_t> immediate;      ///< 1 for answer-immediately units.
   std::vector<uint64_t> reports_heard;
-  std::vector<uint64_t> reports_missed;
   std::vector<double> listen_seconds;
 
-  size_t size() const { return awake.size(); }
+  size_t size() const { return immediate.size(); }
 
   void Resize(size_t n) {
-    awake.assign(n, 0);
     immediate.assign(n, 0);
     reports_heard.assign(n, 0);
-    reports_missed.assign(n, 0);
     listen_seconds.assign(n, 0.0);
   }
 
-  /// Zeroes the stat lanes (after warm-up); sleep state is live process
-  /// state and keeps its value.
+  /// Zeroes the stat lanes (after warm-up); the immediate lane is
+  /// configuration and keeps its value.
   void ResetStats() {
     reports_heard.assign(reports_heard.size(), 0);
-    reports_missed.assign(reports_missed.size(), 0);
     listen_seconds.assign(listen_seconds.size(), 0.0);
   }
 };

@@ -50,6 +50,7 @@ Status MobileUnit::Start() {
     return Status::FailedPrecondition("mobile unit already started");
   }
   started_ = true;
+  pending_tick_time_ = sim_->Now();
   pending_tick_ = sim_->ScheduleAt(sim_->Now(), [this] { OnIntervalTick(0); });
   return Status::OK();
 }
@@ -69,8 +70,15 @@ void MobileUnit::BindHotState(MuHotSoA* soa, uint32_t index) {
   assert(soa != nullptr && index < soa->size());
   hot_ = soa;
   hot_index_ = index;
-  soa->awake[index] = awake_ ? 1 : 0;
   soa->immediate[index] = config_.answer_immediately ? 1 : 0;
+}
+
+void MobileUnit::BindWakeIndex(WakeIndex* index, uint32_t slot) {
+  assert(index != nullptr && slot < index->size());
+  assert(!started_ && "bind the wake index before Start()");
+  wake_index_ = index;
+  wake_slot_ = slot;
+  // The index starts all-awake (conservative); the first tick corrects it.
 }
 
 void MobileUnit::OnIntervalTick(uint64_t interval) {
@@ -93,7 +101,6 @@ void MobileUnit::OnIntervalTick(uint64_t interval) {
   }
   awake_ = awake_now;
   ever_decided_ = true;
-  if (hot_ != nullptr) hot_->awake[hot_index_] = awake_now ? 1 : 0;
 
   // Seal the previous interval's arrivals: they may be answered by the
   // report of this interval (index `interval`) or any later one; anything
@@ -152,8 +159,20 @@ void MobileUnit::ScheduleNextTick(uint64_t interval) {
       when += config_.latency;
     }
   }
+  pending_tick_time_ = when;
   pending_tick_ =
       sim_->ScheduleAt(when, [this, next] { OnIntervalTick(next); });
+  if (wake_index_ != nullptr) {
+    // Publish the transition the tick just decided: awake units occupy the
+    // bitmap; a sleeping unit registers the wake tick this scan scheduled —
+    // exactly NextWakeTime() — so the server can bound the cell's next
+    // audible instant without touching any unit.
+    if (awake_) {
+      wake_index_->MarkAwake(wake_slot_);
+    } else {
+      wake_index_->MarkAsleep(wake_slot_, next, when);
+    }
+  }
 }
 
 void MobileUnit::GenerateIntervalArrivals(SimTime interval_end) {

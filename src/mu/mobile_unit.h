@@ -41,6 +41,7 @@
 #include "core/strategy.h"
 #include "mu/hot_state.h"
 #include "mu/sleep_model.h"
+#include "mu/wake_index.h"
 #include "mu/uplink_service.h"
 #include "sim/simulator.h"
 #include "util/random.h"
@@ -118,11 +119,32 @@ class MobileUnit {
   void OnReportDelivery(const Report& report);
 
   /// Mirrors this unit's hot fields into `soa` slot `index` (see
-  /// hot_state.h). The unit keeps `awake` current from its tick handler
-  /// (including fast-forwarded wake ticks); the broadcast counters become
-  /// SoA-owned, so the caller must stop routing OnBroadcast through this
-  /// unit and drive the SoA loop + OnReportDelivery itself.
+  /// hot_state.h). The broadcast counters become SoA-owned, so the caller
+  /// must stop routing OnBroadcast through this unit and drive the awake-set
+  /// fan-out + OnReportDelivery itself.
   void BindHotState(MuHotSoA* soa, uint32_t index);
+
+  /// Publishes this unit's awake/asleep transitions into slot `slot` of a
+  /// shared WakeIndex (see wake_index.h): every tick marks the slot awake,
+  /// or asleep with the pre-computed wake tick the fast-forward scan
+  /// scheduled. The server aggregates the index for quiet-interval elision
+  /// and awake-set fan-out. Bind before Start().
+  void BindWakeIndex(WakeIndex* index, uint32_t slot);
+
+  /// Earliest simulation time at which this unit can next be awake: now if
+  /// it is awake, otherwise the time of its scheduled wake tick (the
+  /// fast-forward scan already knows it — one of PR 4's predrawn flips).
+  SimTime NextWakeTime() const {
+    return awake_ ? sim_->Now() : pending_tick_time_;
+  }
+
+  /// Finalizes reports_missed from the server's delivery count. With
+  /// awake-set fan-out sleepers never observe a delivery, so the per-miss
+  /// increment of OnBroadcast is replaced by this end-of-run settlement:
+  /// every completed delivery was either heard or missed.
+  void SettleMissedReports(uint64_t deliveries_completed) {
+    stats_.reports_missed = deliveries_completed - stats_.reports_heard;
+  }
 
   /// Wires this unit to a stateful-server registry. `drop_cache_on_wake`
   /// should be true in kStateful mode (reconnection loses the cache).
@@ -227,8 +249,10 @@ class MobileUnit {
   std::vector<PendingBatch> eligible_scratch_;
   std::vector<std::vector<PendingBatch>> spare_batches_;
   /// The single pending interval tick (the unit schedules its own ticks so
-  /// sleeping stretches can be skipped; see ScheduleNextTick).
+  /// sleeping stretches can be skipped; see ScheduleNextTick) and its
+  /// scheduled time — for a sleeping unit that time IS the wake time.
   EventId pending_tick_{};
+  SimTime pending_tick_time_ = 0.0;
   bool started_ = false;
   /// Fast-forward buffer: the sleep decision for `predrawn_interval_`,
   /// already drawn by a ScheduleNextTick scan. The tick for that interval
@@ -249,6 +273,9 @@ class MobileUnit {
 
   MuHotSoA* hot_ = nullptr;  ///< Shard-owned SoA mirror; null when unbound.
   uint32_t hot_index_ = 0;
+
+  WakeIndex* wake_index_ = nullptr;  ///< Shared wake index; null = unbound.
+  uint32_t wake_slot_ = 0;
 };
 
 }  // namespace mobicache

@@ -1,9 +1,37 @@
 #include "server/server.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
+#include <chrono>
+#include <limits>
 #include <utility>
 
 namespace mobicache {
+
+namespace {
+
+/// Accumulates wall time into `*acc` over its scope; steady_clock only (the
+/// detlint wall-clock ban covers the non-monotonic clocks). Diagnostics, not
+/// simulation state: nothing deterministic reads the accumulated value.
+class WallTimer {
+ public:
+  explicit WallTimer(double* acc)
+      : acc_(acc), t0_(std::chrono::steady_clock::now()) {}
+  ~WallTimer() {
+    *acc_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+            .count();
+  }
+  WallTimer(const WallTimer&) = delete;
+  WallTimer& operator=(const WallTimer&) = delete;
+
+ private:
+  double* acc_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace
 
 Server::Server(Simulator* sim, Database* db, Channel* channel,
                std::unique_ptr<ServerStrategy> strategy,
@@ -15,6 +43,7 @@ Server::Server(Simulator* sim, Database* db, Channel* channel,
       delivery_(delivery),
       config_(config) {
   assert(config_.latency > 0.0);
+  assert(config_.journal_prune_period_intervals >= 1);
 }
 
 Server::~Server() { Stop(); }
@@ -22,6 +51,12 @@ Server::~Server() { Stop(); }
 void Server::AttachUnit(MobileUnit* unit) {
   assert(broadcaster_ == nullptr && "attach units before Start()");
   units_.push_back(unit);
+}
+
+void Server::AttachWakeIndex(const WakeIndex* index) {
+  assert(index != nullptr);
+  assert(broadcaster_ == nullptr && "attach wake indexes before Start()");
+  wake_indexes_.push_back(index);
 }
 
 Status Server::Start() {
@@ -43,56 +78,199 @@ void Server::Stop() {
   if (broadcaster_ != nullptr) broadcaster_->Stop();
 }
 
+void Server::SettleUnitStats() {
+  if (wake_indexes_.empty()) return;
+  for (MobileUnit* unit : units_) {
+    unit->SettleMissedReports(deliveries_completed_);
+  }
+}
+
+void Server::RecomputeDeliveryPath() {
+  if (report_observer_) {
+    delivery_path_ = DeliveryPath::kGeneral;
+  } else if (delivery_sink_) {
+    delivery_path_ = DeliveryPath::kSink;
+  } else {
+    delivery_path_ = DeliveryPath::kFanOut;
+  }
+}
+
+std::shared_ptr<Report>& Server::AcquireReportSlot() {
+  // use_count == 1 means only the arena holds the slot: the previous
+  // delivery's consumption event has dropped its reference, so the Report's
+  // payload vectors (their heap capacity intact) can be refilled in place.
+  for (std::shared_ptr<Report>& slot : report_arena_) {
+    if (slot.use_count() == 1) return slot;
+  }
+  // One-time arena growth, cold by construction: every warm interval finds
+  // a reusable slot above. detlint:allow(alloc-event-path)
+  report_arena_.push_back(std::make_shared<Report>());
+  return report_arena_.back();
+}
+
 void Server::Broadcast(uint64_t interval) {
+  WallTimer timer(&broadcast_wall_seconds_);
   const SimTime now = sim_->Now();
-  // One immutable report per interval, shared by the jittered re-delivery
-  // lambda and every attached unit — no per-broadcast copies.
-  auto report = std::make_shared<const Report>(
-      strategy_->BuildReport(now, interval));
-  const uint64_t bits = ReportSizeBits(*report, config_.sizes);
+  // The jitter draw moved ahead of the report build: the delivery model owns
+  // a private RNG stream, so the draw order relative to the (draw-free)
+  // build is unobservable — and elision needs the jitter before deciding.
+  const double jitter = delivery_ == nullptr ? 0.0 : delivery_->SampleJitter();
+
+  // Keep as much journal as the strategy's window needs, plus slack. Pruning
+  // is batched (journal_prune_period_intervals): the cutoff always trails the
+  // build window, so pruning less often — or before the build — only retains
+  // extra history and changes no windowed read.
+  if (++intervals_since_prune_ >= config_.journal_prune_period_intervals) {
+    intervals_since_prune_ = 0;
+    const SimTime horizon =
+        strategy_->JournalHorizonSeconds() +
+        config_.latency * static_cast<double>(config_.journal_slack_intervals);
+    if (now > horizon) db_->PruneJournalBefore(now - horizon);
+  }
+
+  // Quiet-interval elision (the "sleepers" fast path): if every attached
+  // unit is asleep now and none wakes before this transmission completes,
+  // the report is pure downlink accounting — no unit, observer, or jittered
+  // re-delivery will ever read it. The strategy still advances (AdvanceQuiet
+  // consumes the interval and yields the exact bit size), so every counter
+  // stays byte-identical to the materialized run.
+  bool quiet_candidate = config_.quiet_elision && jitter <= 0.0 &&
+                         !report_observer_ && !wake_indexes_.empty();
+  SimTime wake_horizon = std::numeric_limits<SimTime>::infinity();
+  if (quiet_candidate) {
+    uint64_t awake = 0;
+    for (const WakeIndex* index : wake_indexes_) {
+      awake += index->awake_count();
+      wake_horizon = std::min(wake_horizon, index->NextWakeFrom(interval));
+    }
+    quiet_candidate = awake == 0;
+  }
+
+  uint64_t bits = 0;
+  double duration = 0.0;
+  bool elide_delivery = false;
+  std::shared_ptr<const Report> report;
+  if (quiet_candidate &&
+      strategy_->AdvanceQuiet(now, interval, config_.sizes, &bits)) {
+    duration = channel_->Duration(bits);
+    if (wake_horizon > now + duration) {
+      elide_delivery = true;
+    } else {
+      // A unit wakes mid-transmission (or exactly at its end): replay the
+      // materialized mechanics from the already-advanced strategy state.
+      std::shared_ptr<Report>& slot = AcquireReportSlot();
+      *slot = strategy_->MaterializeQuiet(now, interval);
+      report = slot;
+    }
+  } else {
+    std::shared_ptr<Report>& slot = AcquireReportSlot();
+    strategy_->BuildReportInto(now, interval, slot.get());
+    bits = ReportSizeBits(*slot, config_.sizes);
+    duration = channel_->Duration(bits);
+    if (quiet_candidate && wake_horizon > now + duration) {
+      // Build-without-deliver fallback: the strategy had no cheap advance,
+      // but the fan-out is still dead — skip scheduling it.
+      elide_delivery = true;
+    } else {
+      report = slot;
+    }
+  }
 
   ++stats_.reports_broadcast;
   stats_.report_bits.Add(static_cast<double>(bits));
-  stats_.report_air_seconds.Add(channel_->Duration(bits));
+  stats_.report_air_seconds.Add(duration);
 
-  // Keep as much journal as the strategy's window needs, plus slack.
-  const SimTime horizon =
-      strategy_->JournalHorizonSeconds() +
-      config_.latency * static_cast<double>(config_.journal_slack_intervals);
-  if (now > horizon) db_->PruneJournalBefore(now - horizon);
-
-  const double jitter = delivery_ == nullptr ? 0.0 : delivery_->SampleJitter();
-  if (jitter <= 0.0) {
-    Deliver(std::move(report), bits, 0.0);
+  if (elide_delivery) {
+    Deliver(nullptr, bits, 0.0, duration);
+  } else if (jitter <= 0.0) {
+    Deliver(std::move(report), bits, 0.0, duration);
   } else {
     sim_->ScheduleAfter(jitter, [this, report = std::move(report), bits,
-                                 jitter] { Deliver(report, bits, jitter); });
+                                 jitter, duration] {
+      Deliver(report, bits, jitter, duration);
+    });
   }
 }
 
 void Server::Deliver(std::shared_ptr<const Report> report, uint64_t bits,
-                     double jitter) {
+                     double jitter, double duration) {
   // The server owns the downlink schedule: the report claims the head of
-  // the interval rather than queueing behind pending query traffic.
+  // the interval rather than queueing behind pending query traffic. An
+  // elided (null) report still transmits — channel accounting is identical
+  // whether anyone listens or not.
   const SimTime done =
       channel_->Transmit(bits, TrafficClass::kReport, /*preempt=*/true);
-  const double duration = channel_->Duration(bits);
   const double listen =
       delivery_ == nullptr ? duration
                            : delivery_->ListenSeconds(jitter, duration);
-  // Units consume the report when its transmission completes.
+  // Units consume the report when its transmission completes. Quiet counters
+  // tick inside this event so ResetStats boundaries and run-end truncation
+  // bin elided intervals exactly like materialized ones.
   sim_->ScheduleAt(done, [this, report = std::move(report), listen, done] {
-    if (report_observer_) report_observer_(*report);
-    if (delivery_sink_) {
-      delivery_sink_(ReportDelivery{report, listen, done});
+    WallTimer timer(&broadcast_wall_seconds_);
+    ++deliveries_completed_;
+    if (report == nullptr) {
+      if (delivery_path_ == DeliveryPath::kSink) {
+        delivery_sink_(ReportDelivery{nullptr, listen, done});
+        return;
+      }
+      ++stats_.quiet_report_intervals;
+      ++stats_.quiet_skipped_intervals;
       return;
     }
-    uint64_t heard = 0;
-    for (MobileUnit* unit : units_) {
-      if (unit->OnBroadcast(*report, listen)) ++heard;
+    switch (delivery_path_) {
+      case DeliveryPath::kFanOut: {
+        if (FanOutReport(*report, listen) == 0) {
+          ++stats_.quiet_report_intervals;
+        }
+        break;
+      }
+      case DeliveryPath::kSink:
+        delivery_sink_(ReportDelivery{report, listen, done});
+        break;
+      case DeliveryPath::kGeneral: {
+        if (report_observer_) report_observer_(*report);
+        if (delivery_sink_) {
+          delivery_sink_(ReportDelivery{report, listen, done});
+          break;
+        }
+        if (FanOutReport(*report, listen) == 0) {
+          ++stats_.quiet_report_intervals;
+        }
+        break;
+      }
     }
-    if (heard == 0) ++stats_.quiet_report_intervals;
   });
+}
+
+uint64_t Server::FanOutReport(const Report& report, double listen_seconds) {
+  if (!wake_indexes_.empty()) {
+    // Deliver to the awake set only, in ascending slot order — the same
+    // visit order as the legacy all-units loop, minus the sleepers (whose
+    // OnBroadcast would have been a counted miss; see SettleUnitStats).
+    uint64_t heard = 0;
+    size_t base = 0;
+    for (const WakeIndex* index : wake_indexes_) {
+      const std::vector<uint64_t>& words = index->awake_words();
+      for (size_t w = 0; w < words.size(); ++w) {
+        uint64_t word = words[w];
+        while (word != 0) {
+          const size_t slot =
+              base + w * 64 + static_cast<size_t>(std::countr_zero(word));
+          word &= word - 1;
+          units_[slot]->OnBroadcast(report, listen_seconds);
+          ++heard;
+        }
+      }
+      base += index->size();
+    }
+    return heard;
+  }
+  uint64_t heard = 0;
+  for (MobileUnit* unit : units_) {
+    if (unit->OnBroadcast(report, listen_seconds)) ++heard;
+  }
+  return heard;
 }
 
 void Server::AccountUplinkQuery(const UplinkQueryInfo& info) {

@@ -90,6 +90,7 @@ TEST(ServerTest, PrunesJournalBeyondStrategyHorizon) {
   ServerConfig config;
   config.latency = 10.0;
   config.journal_slack_intervals = 1;
+  config.journal_prune_period_intervals = 1;  // prune every interval
   Server server(&sim, &db, &channel,
                 std::make_unique<AtServerStrategy>(&db, 10.0), nullptr,
                 config);
@@ -104,6 +105,37 @@ TEST(ServerTest, PrunesJournalBeyondStrategyHorizon) {
   server.Stop();
   // Horizon = L + slack = 20 s: at T=100 only entries newer than ~80 stay.
   EXPECT_LE(db.journal_size(), 6u);
+}
+
+TEST(ServerTest, BatchedPruneKeepsJournalBounded) {
+  // With the default amortized prune (every k intervals) the journal may
+  // retain up to k intervals of extra history past the horizon, but no
+  // more: memory stays bounded for arbitrarily long runs.
+  Database db(100, 1);
+  Simulator sim;
+  Channel channel(&sim, 1e4);
+  ServerConfig config;
+  config.latency = 10.0;
+  config.journal_slack_intervals = 1;
+  ASSERT_GE(config.journal_prune_period_intervals, 1u);
+  Server server(&sim, &db, &channel,
+                std::make_unique<AtServerStrategy>(&db, 10.0), nullptr,
+                config);
+  ASSERT_TRUE(server.Start().ok());
+  // Two updates per interval over 200 intervals.
+  for (int i = 0; i < 400; ++i) {
+    const double t = static_cast<double>(i) * 5.0 + 1.0;
+    sim.ScheduleAt(t, [&db, t] {
+      db.ApplyUpdate(static_cast<ItemId>(static_cast<uint64_t>(t) % 100), t);
+    });
+  }
+  sim.RunUntil(2000.0);
+  server.Stop();
+  // Bound: horizon (2 intervals) + prune period intervals of slop, at two
+  // updates per interval, plus the entries since the last prune fired.
+  const uint64_t bound =
+      2 * (2 + config.journal_prune_period_intervals + 1);
+  EXPECT_LE(db.journal_size(), bound);
 }
 
 TEST(ServerTest, JitteredDeliveryArrivesAfterNominalTime) {

@@ -162,22 +162,24 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// Scripted-nap fixture: awake for interval 0, a long nap over 2..39, a
+// short awake burst at 40..42, a second nap over 44..98, awake at 99.
+class ScriptedSleep : public SleepModel {
+ public:
+  bool AwakeForInterval(uint64_t interval) override {
+    EXPECT_EQ(interval, next_expected_++);
+    return interval == 0 || (interval >= 40 && interval <= 42) ||
+           interval == 99;
+  }
+  double EffectiveSleepProbability() const override { return 0.95; }
+
+ private:
+  uint64_t next_expected_ = 0;
+};
+
 // A scripted pattern with two long naps pins the exact event count: one tick
 // per awake interval, one per sleep onset, one per wake — nothing else.
 TEST(SleepFastForwardTest, ScriptedNapsCostOneEventEach) {
-  class ScriptedSleep : public SleepModel {
-   public:
-    bool AwakeForInterval(uint64_t interval) override {
-      EXPECT_EQ(interval, next_expected_++);
-      return interval == 0 || (interval >= 40 && interval <= 42) ||
-             interval == 99;
-    }
-    double EffectiveSleepProbability() const override { return 0.95; }
-
-   private:
-    uint64_t next_expected_ = 0;
-  };
-
   Simulator sim;
   RecordingUplink uplink(&sim);
   MobileUnit unit(&sim, UnitConfig(0.2), std::make_unique<AtClientManager>(),
@@ -193,6 +195,46 @@ TEST(SleepFastForwardTest, ScriptedNapsCostOneEventEach) {
   // again). Both naps (2..39 and 44..98) cost zero events. Report-driven
   // arrivals are materialized inside ticks, so they add no events either.
   EXPECT_EQ(sim.DispatchedEvents(), 8u);
+}
+
+// NextWakeTime canary against the scripted naps: during a nap it names the
+// exact time of the fast-forward-scheduled wake tick (the quiet-elision
+// horizon the server's WakeIndex aggregates); while awake it is "now".
+TEST(SleepFastForwardTest, NextWakeTimeNamesTheScheduledWakeTick) {
+  Simulator sim;
+  RecordingUplink uplink(&sim);
+  MobileUnit unit(&sim, UnitConfig(0.2), std::make_unique<AtClientManager>(),
+                  std::make_unique<ScriptedSleep>(), &uplink, 21);
+  ASSERT_TRUE(unit.Start().ok());
+
+  struct Probe {
+    SimTime at;
+    SimTime expected;  // -1 marks "awake: expect the probe time itself"
+  };
+  // Interval 1's tick (T = 10) starts the first nap with its wake tick
+  // pre-scheduled at interval 40 (T = 400); interval 43's tick (T = 430)
+  // starts the second nap waking at interval 99 (T = 990).
+  const std::vector<Probe> probes = {
+      {5.0, -1.0},    // awake interval 0
+      {15.0, 400.0},  // just asleep
+      {200.0, 400.0}, // deep in the first nap
+      {415.0, -1.0},  // awake burst
+      {500.0, 990.0}, // second nap
+      {985.0, 990.0}, // almost over
+      {995.0, -1.0},  // awake again
+  };
+  std::vector<SimTime> observed(probes.size());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    sim.ScheduleAt(probes[i].at,
+                   [&unit, &observed, i] { observed[i] = unit.NextWakeTime(); });
+  }
+  sim.RunUntil(1005.0);
+
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const SimTime expected =
+        probes[i].expected < 0.0 ? probes[i].at : probes[i].expected;
+    EXPECT_EQ(observed[i], expected) << "probe at t=" << probes[i].at;
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -46,6 +46,21 @@ constexpr std::array kAllocCallees = {
     "resize",      "reserve",     "assign",   "append",
 };
 
+/// alloc-event-path: per-interval hot-path function bodies that must stay
+/// allocation-free in the steady state — the broadcast build/deliver path,
+/// the awake-set fan-out, and the report arena. A sanctioned cold-path
+/// allocation (arena growth) carries an explicit detlint:allow.
+struct HotPathFunction {
+  const char* file;
+  const char* name;
+};
+constexpr std::array kAllocFreeHotPaths = {
+    HotPathFunction{"src/server/server.cc", "Broadcast"},
+    HotPathFunction{"src/server/server.cc", "Deliver"},
+    HotPathFunction{"src/server/server.cc", "FanOutReport"},
+    HotPathFunction{"src/server/server.cc", "AcquireReportSlot"},
+};
+
 /// wall-clock: identifiers that are non-deterministic by construction and
 /// banned outright wherever they appear in src/.
 constexpr std::array kWallClockIdents = {
@@ -140,6 +155,48 @@ void CheckRngStream(const CheckInput& in, const Emitter& emit) {
 // ---------------------------------------------------------------------------
 // alloc-event-path
 
+/// Flags allocating constructs in tokens (begin, end) — a lambda body or a
+/// hot-path function body; `where` names the context in the message.
+void ScanAllocFreeBody(const std::vector<Token>& t, size_t begin, size_t end,
+                       const char* where, const Emitter& emit) {
+  for (size_t b = begin; b + 1 < end; ++b) {
+    if (t[b].kind != Token::Kind::kIdent) continue;
+    if (IsIdent(t[b], "new")) {
+      emit("alloc-event-path", t[b].line,
+           std::string("`new` inside ") + where +
+               "; this path is allocation-free by contract.");
+      continue;
+    }
+    if (IsIdent(t[b], "function") && b > 0 && IsPunct(t[b - 1], "::")) {
+      emit("alloc-event-path", t[b].line,
+           std::string("std::function inside ") + where +
+               "; it may heap-allocate its target. Use EventFn or a "
+               "capture.");
+      continue;
+    }
+    if (!Contains(kAllocCallees, t[b].text)) continue;
+    // Accept an explicit template argument list between the callee and the
+    // call parens: `make_shared<Report>()`.
+    size_t call = b + 1;
+    if (call < end && IsPunct(t[call], "<")) {
+      int depth = 0;
+      for (; call < end; ++call) {
+        if (IsPunct(t[call], "<")) ++depth;
+        if (IsPunct(t[call], ">") && --depth == 0) {
+          ++call;
+          break;
+        }
+      }
+    }
+    if (call < end && IsPunct(t[call], "(")) {
+      emit("alloc-event-path", t[b].line,
+           "allocating call `" + t[b].text + "(...)` inside " + where +
+               "; this path must stay allocation-free (move the work out, "
+               "pre-reserve, or recycle through the arena).");
+    }
+  }
+}
+
 void CheckAllocEventPath(const CheckInput& in, const Emitter& emit) {
   if (!InSrc(in.path)) return;
   const std::vector<Token>& t = in.scan->tokens;
@@ -160,30 +217,35 @@ void CheckAllocEventPath(const CheckInput& in, const Emitter& emit) {
       while (k < call_end && !IsPunct(t[k], "{")) ++k;  // mutable/noexcept/->
       if (k >= call_end) continue;
       const size_t body_end = SkipBalanced(t, k);
-
-      for (size_t b = k + 1; b + 1 < body_end; ++b) {
-        if (t[b].kind != Token::Kind::kIdent) continue;
-        if (IsIdent(t[b], "new")) {
-          emit("alloc-event-path", t[b].line,
-               "`new` inside a lambda scheduled on the event loop; EventFn "
-               "slots are allocation-free by contract.");
-          continue;
-        }
-        if (IsIdent(t[b], "function") && b > 0 && IsPunct(t[b - 1], "::")) {
-          emit("alloc-event-path", t[b].line,
-               "std::function inside an event-loop lambda; it may heap-"
-               "allocate its target. Use EventFn or a capture.");
-          continue;
-        }
-        if (Contains(kAllocCallees, t[b].text) && IsPunct(t[b + 1], "(")) {
-          emit("alloc-event-path", t[b].line,
-               "allocating call `" + t[b].text +
-                   "(...)` inside a lambda scheduled on the event loop; the "
-                   "hot path must stay allocation-free (move the work out of "
-                   "the event or pre-reserve).");
-        }
-      }
+      ScanAllocFreeBody(t, k + 1, body_end,
+                        "a lambda scheduled on the event loop", emit);
       j = body_end > j ? body_end - 1 : j;
+    }
+  }
+
+  // Hot-path function bodies (broadcast/fan-out/arena): match the member
+  // definition `...::Name(args) ... {` and scan the whole body. Scheduled
+  // lambdas nested inside are scanned twice; RunChecks dedupes.
+  for (const HotPathFunction& fn : kAllocFreeHotPaths) {
+    if (in.path != fn.file) continue;
+    for (size_t i = 1; i + 1 < t.size(); ++i) {
+      if (!IsIdent(t[i], fn.name) || !IsPunct(t[i - 1], "::") ||
+          !IsPunct(t[i + 1], "(")) {
+        continue;
+      }
+      size_t k = SkipBalanced(t, i + 1);  // past the parameter list
+      while (k < t.size() && !IsPunct(t[k], "{")) {
+        if (IsPunct(t[k], ";")) break;  // a declaration, not a definition
+        ++k;
+      }
+      if (k >= t.size() || !IsPunct(t[k], "{")) continue;
+      const size_t body_end = SkipBalanced(t, k);
+      ScanAllocFreeBody(
+          t, k + 1, body_end,
+          (std::string("the allocation-free hot path `") + fn.name + "`")
+              .c_str(),
+          emit);
+      i = body_end > i ? body_end - 1 : i;
     }
   }
 }
@@ -335,8 +397,17 @@ std::vector<Finding> RunChecks(const CheckInput& in) {
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;
-              return a.check < b.check;
+              if (a.check != b.check) return a.check < b.check;
+              return a.message < b.message;
             });
+  // A scheduled lambda inside a hot-path function body is scanned by both
+  // alloc-event-path passes (with differently-worded messages); report each
+  // (line, check) site once — the sort keeps the lambda wording first.
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.line == b.line && a.check == b.check;
+                             }),
+                 findings.end());
   return findings;
 }
 

@@ -1,0 +1,38 @@
+// Fixture: alloc-event-path, hot-path function bodies. The broadcast /
+// fan-out / arena functions of the server are allocation-free by contract
+// (kAllocFreeHotPaths); reintroducing a per-interval allocation — e.g. the
+// pre-arena `make_shared<Report>` in Broadcast — must be flagged even
+// outside any scheduled lambda. The arena's own one-time growth is the
+// sanctioned exception and carries an explicit allow.
+// detlint:pretend(src/server/server.cc)
+
+#include <memory>
+#include <vector>
+
+namespace mobicache {
+
+struct Report {};
+
+void Server::Broadcast(uint64_t interval) {
+  auto report = std::make_shared<Report>();  // detlint:expect(alloc-event-path)
+  (void)interval;
+  (void)report;
+}
+
+uint64_t Server::FanOutReport(const Report& report, double listen_seconds) {
+  delivered_.push_back(&report);  // detlint:expect(alloc-event-path)
+  (void)listen_seconds;
+  return 1;
+}
+
+std::shared_ptr<Report>& Server::AcquireReportSlot() {
+  // Sanctioned cold-path arena growth. detlint:allow(alloc-event-path)
+  report_arena_.push_back(std::make_shared<Report>());
+  return report_arena_.back();
+}
+
+void Server::AccountUplinkQuery(const UplinkQueryInfo& info) {
+  audit_log_.push_back(info);  // not a hot-path function: legal
+}
+
+}  // namespace mobicache
