@@ -204,6 +204,19 @@ int RunFigureBench(PaperScenario scenario,
               wall_seconds > 0.0
                   ? static_cast<double>(result->sim_events) / wall_seconds
                   : 0.0);
+  double update_seconds = 0.0;
+  uint64_t updates_applied = 0;
+  for (const SweepResult::CellTiming& t : result->cell_timings) {
+    update_seconds += t.update_seconds;
+    updates_applied += t.updates_applied;
+  }
+  if (updates_applied > 0) {
+    std::printf("updates %llu  (%.3fs batched drain, %.1f%% of wall)\n",
+                static_cast<unsigned long long>(updates_applied),
+                update_seconds,
+                wall_seconds > 0.0 ? 100.0 * update_seconds / wall_seconds
+                                   : 0.0);
+  }
   if (!csv_path.empty()) {
     std::ofstream csv(csv_path);
     if (!csv) {

@@ -85,10 +85,14 @@ BenchRecord MakeBenchRecord(const std::string& name,
     b.shard_seconds = t.shard_seconds;
     b.replay_seconds = t.replay_seconds;
     b.replay_records = t.replay_records;
+    b.update_seconds = t.update_seconds;
+    b.updates_applied = t.updates_applied;
     record.server_seconds += t.server_seconds;
     record.shard_seconds += t.shard_seconds;
     record.replay_seconds += t.replay_seconds;
     record.replay_records += t.replay_records;
+    record.update_seconds += t.update_seconds;
+    record.updates_applied += t.updates_applied;
     record.breakdown.push_back(std::move(b));
   }
   return record;
@@ -122,6 +126,8 @@ std::string BenchRecordToJson(const BenchRecord& r) {
   os << ",\n  \"shard_seconds\": " << Num(r.shard_seconds);
   os << ",\n  \"replay_seconds\": " << Num(r.replay_seconds);
   os << ",\n  \"replay_records\": " << r.replay_records;
+  os << ",\n  \"update_seconds\": " << Num(r.update_seconds);
+  os << ",\n  \"updates_applied\": " << r.updates_applied;
   os << ",\n  \"breakdown\": [";
   for (size_t i = 0; i < r.breakdown.size(); ++i) {
     const BenchRecord::Breakdown& b = r.breakdown[i];
@@ -131,7 +137,9 @@ std::string BenchRecordToJson(const BenchRecord& r) {
     os << ", \"server_seconds\": " << Num(b.server_seconds);
     os << ", \"shard_seconds\": " << Num(b.shard_seconds);
     os << ", \"replay_seconds\": " << Num(b.replay_seconds);
-    os << ", \"replay_records\": " << b.replay_records << "}";
+    os << ", \"replay_records\": " << b.replay_records;
+    os << ", \"update_seconds\": " << Num(b.update_seconds);
+    os << ", \"updates_applied\": " << b.updates_applied << "}";
   }
   os << (r.breakdown.empty() ? "]" : "\n  ]");
   os << "\n}\n";

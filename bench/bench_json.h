@@ -61,6 +61,12 @@ struct BenchRecord {
   double shard_seconds = 0.0;
   double replay_seconds = 0.0;
   uint64_t replay_records = 0;
+  /// Wall time draining the batched update stream, summed across cells — a
+  /// sub-account of server_seconds (pumps run inside the server phase), so
+  /// 0 <= update_seconds <= server_seconds. updates_applied counts updates
+  /// applied to the cells' databases (either delivery mode).
+  double update_seconds = 0.0;
+  uint64_t updates_applied = 0;
 
   /// Optional wall-time breakdown: one labelled timing per simulated cell
   /// (sweep benches label by "<strategy>@x=<point>") or per shard/phase
@@ -74,6 +80,8 @@ struct BenchRecord {
     double shard_seconds = 0.0;
     double replay_seconds = 0.0;
     uint64_t replay_records = 0;
+    double update_seconds = 0.0;
+    uint64_t updates_applied = 0;
   };
   std::vector<Breakdown> breakdown;
 };

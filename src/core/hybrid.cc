@@ -38,6 +38,9 @@ void HybridSigServerStrategy::AttachUpdateFeed(Database* db) {
   // Collect dirty ids as updates land instead of re-querying the journal
   // per report (see SigServerStrategy::AttachUpdateFeed).
   dirty_flags_.assign(db->size(), 0);
+  // One entry per item at most (the flags dedup); reserve the bound so the
+  // observer never allocates across elided quiet stretches.
+  dirty_ids_.reserve(db->size());
   db->AddUpdateObserver([this](ItemId id, SimTime) {
     if (!dirty_flags_[id]) {
       dirty_flags_[id] = 1;

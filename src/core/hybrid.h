@@ -35,6 +35,10 @@ class HybridSigServerStrategy : public ServerStrategy {
   Report MaterializeQuiet(SimTime now, uint64_t interval) override;
   void AttachUpdateFeed(Database* db) override;
   SimTime JournalHorizonSeconds() const override { return latency_; }
+  /// With the feed attached, FoldChangesThrough reads only the dirty set and
+  /// per-item slab timestamps — never a journal window — so quiet-stretch
+  /// buckets may stay digest-only.
+  bool JournalQuiescentWithFeed() const override { return true; }
 
   const std::vector<ItemId>& hot_set() const { return hot_set_; }
 

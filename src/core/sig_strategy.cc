@@ -17,6 +17,10 @@ void SigServerStrategy::AttachUpdateFeed(Database* db) {
   // per report; OnItemChanged reads the current value, so folding once per
   // dirty id at report time is exact.
   dirty_flags_.assign(db->size(), 0);
+  // The flags dedup caps the list at one entry per item; size it for that
+  // bound up front so the observer never allocates, even when elided quiet
+  // stretches let dirty ids pile up across many unreported intervals.
+  dirty_ids_.reserve(db->size());
   db->AddUpdateObserver([this](ItemId id, SimTime) {
     if (!dirty_flags_[id]) {
       dirty_flags_[id] = 1;

@@ -33,6 +33,9 @@ class SigServerStrategy : public ServerStrategy {
   Report MaterializeQuiet(SimTime now, uint64_t interval) override;
   void AttachUpdateFeed(Database* db) override;
   SimTime JournalHorizonSeconds() const override { return latency_; }
+  /// With the feed attached, FoldChangesThrough reads only the dirty set —
+  /// never a journal window — so quiet-stretch buckets may stay digest-only.
+  bool JournalQuiescentWithFeed() const override { return true; }
 
  private:
   /// Folds every item changed since the last snapshot into the combined

@@ -17,6 +17,11 @@ namespace {
 /// near enough that the line is still resident when the cursor arrives.
 constexpr size_t kDigestPrefetchDistance = 8;
 
+/// Entries of slack the batched update walk prefetches ahead of the apply
+/// cursor. Each entry touches one random hot-slab line (plus a mark line
+/// when eliding); eight entries of lead time covers a DRAM round-trip.
+constexpr size_t kBatchPrefetchDistance = 8;
+
 /// Recycled bucket storages kept around after pruning. The server batches
 /// pruning (ServerConfig::journal_prune_period_intervals, default 8), so a
 /// prune drops that many buckets at once; the bound must absorb the whole
@@ -102,15 +107,38 @@ void Database::PushBucket(int64_t index, size_t reserve_hint) {
     b.times.clear();
     b.ids.clear();
     b.digest.clear();
+    b.digest_versions.clear();
     b.digest_built = false;
     b.sealed = false;
+    b.digest_only = false;
+    b.raw_count = 0;
+    b.first_time = 0.0;
+    b.last_time = 0.0;
   } else {
     buckets_.emplace_back();
     buckets_.back().index = index;
   }
-  if (reserve_hint > 0) {
-    buckets_.back().times.reserve(reserve_hint);
-    buckets_.back().ids.reserve(reserve_hint);
+  Bucket& b = buckets_.back();
+  // Representation is fixed at bucket open: elided while the server's quiet
+  // stretch hint is up (and elision armed), raw otherwise.
+  if (elide_hint_ && !elide_marks_.empty()) {
+    b.digest_only = true;
+    ++elide_epoch_;
+    ++elided_buckets_;
+    assert(elide_epoch_ < (uint64_t{1} << 32) && "elide epoch overflow");
+    // Reserve well past the largest digest any sealed elided bucket has
+    // needed, so the append path stays allocation-free once warm (recycled
+    // buckets carry their capacity; fresh ones pay once, here). The floor
+    // absorbs the first buckets, before the high-water mark means anything.
+    const size_t want = std::min(static_cast<size_t>(n_),
+                                 std::max<size_t>(64, 2 * digest_high_water_));
+    if (b.digest.capacity() < want) {
+      b.digest.reserve(want);
+      b.digest_versions.reserve(want);
+    }
+  } else if (reserve_hint > 0) {
+    b.times.reserve(reserve_hint);
+    b.ids.reserve(reserve_hint);
   }
 }
 
@@ -119,38 +147,109 @@ void Database::RecycleBucket(Bucket* bucket) {
   spare_buckets_.push_back(std::move(*bucket));
 }
 
-void Database::AppendJournal(ItemId id, SimTime now) {
+void Database::AppendJournal(ItemId id, SimTime now, uint64_t version) {
   const int64_t idx = BucketIndexFor(now);
   if (buckets_.empty()) {
     PushBucket(idx, /*reserve_hint=*/0);
   } else if (idx > buckets_.back().index) {
     Bucket& closing = buckets_.back();
     closing.sealed = true;
-    const size_t hint = closing.times.size();
+    if (closing.digest_only && closing.digest.size() > digest_high_water_) {
+      digest_high_water_ = closing.digest.size();
+    }
+    const size_t hint = closing.EntryCount();
     PushBucket(idx, hint);
   }
   Bucket& tail = buckets_.back();
+  ++journal_entries_;
+  if (tail.digest_only) {
+    AppendJournalElided(id, now, version);
+    return;
+  }
   tail.times.push_back(now);
   tail.ids.push_back(id);
   append_times_cursor_ = tail.times.data() + tail.times.size();
   append_ids_cursor_ = tail.ids.data() + tail.ids.size();
-  ++journal_entries_;
+}
+
+void Database::AppendJournalElided(ItemId id, SimTime now, uint64_t version) {
+  Bucket& tail = buckets_.back();
+  if (tail.raw_count == 0) tail.first_time = now;
+  tail.last_time = now;
+  ++tail.raw_count;
+  uint64_t& mark = elide_marks_[id];
+  if ((mark >> 32) == elide_epoch_) {
+    // The id already has an entry in this bucket; this update supersedes it
+    // as the latest. Exact time ties (a zero exponential gap re-hitting the
+    // same id) would need the superseded entry kept for multiplicity — the
+    // raw digest keeps tied runs whole — but cannot occur with distinct
+    // version numbers on a strictly advancing clock; assert cheap.
+    const size_t slot = static_cast<uint32_t>(mark);
+    assert(tail.digest[slot].updated_at < now ||
+           tail.digest_versions[slot] + 1 == version);
+    tail.digest[slot].updated_at = now;
+    tail.digest_versions[slot] = version;
+    return;
+  }
+  mark = (elide_epoch_ << 32) | static_cast<uint32_t>(tail.digest.size());
+  tail.digest.push_back(UpdatedItem{id, now});
+  tail.digest_versions.push_back(version);
 }
 
 void Database::ApplyUpdate(ItemId id, SimTime now) {
   assert(id < n_);
-  assert(journal_entries_ == 0 || now >= buckets_.back().times.back());
+  assert(journal_entries_ == 0 || now >= JournalTailTime());
   HotItem& item = hot_[id];
   ++item.version;
   item.last_update = now;
-  if (journal_enabled_) AppendJournal(id, now);
+  if (journal_enabled_) AppendJournal(id, now, item.version);
   ++total_updates_;
-  if (single_observer_ != nullptr) {
-    (*single_observer_)(id, now);
-  } else if (multi_observers_) {
-    if (observer_) observer_(id, now);
-    for (const auto& observer : extra_observers_) observer(id, now);
+  DispatchUpdateObservers(id, now);
+}
+
+void Database::ApplyUpdateBatch(const ItemId* ids, const SimTime* times,
+                                size_t count) {
+  assert(count > 0);
+  assert(journal_entries_ == 0 || times[0] >= JournalTailTime());
+  const bool journal = journal_enabled_;
+  const bool observed = single_observer_ != nullptr || multi_observers_;
+  for (size_t i = 0; i < count; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+    if (i + kBatchPrefetchDistance < count) {
+      __builtin_prefetch(&hot_[ids[i + kBatchPrefetchDistance]], /*rw=*/1,
+                         /*locality=*/1);
+    }
+#endif
+    const ItemId id = ids[i];
+    const SimTime now = times[i];
+    assert(id < n_);
+    assert(i == 0 || now >= times[i - 1]);
+    HotItem& item = hot_[id];
+    ++item.version;
+    item.last_update = now;
+    if (journal) AppendJournal(id, now, item.version);
+    if (observed) DispatchUpdateObservers(id, now);
   }
+  total_updates_ += count;
+}
+
+void Database::EnableJournalElision() {
+  if (!elide_marks_.empty()) return;
+  assert(journal_enabled_ && "elision over a disabled journal is pointless");
+  elide_marks_.assign(n_, 0);
+  // Epoch 0 would make the zero-initialized marks look current for slot 0;
+  // start at 1 so every mark begins stale.
+  elide_epoch_ = 1;
+}
+
+void Database::SortElidedDigest(const Bucket& bucket) {
+  assert(bucket.digest_only);
+  std::sort(bucket.digest.begin(), bucket.digest.end(), ByItemId);
+  // The versions were parallel to the append order; rather than permute
+  // them alongside, drop them — queries identify still-latest entries
+  // through the hot slab, and a queried bucket's summary role is over.
+  bucket.digest_versions.clear();
+  bucket.digest_built = true;
 }
 
 void Database::RebuildObserverFastPath() {
@@ -181,6 +280,11 @@ void Database::SetJournalEnabled(bool enabled) {
 void Database::SetJournalBucketWidth(SimTime width) {
   assert(width >= 0.0);
   if (width == bucket_width_) return;
+#ifndef NDEBUG
+  // Re-bucketing replays raw entries; elided buckets have none to replay.
+  // The server sets the width once at Start(), before any elision.
+  for (const Bucket& bucket : buckets_) assert(!bucket.digest_only);
+#endif
   std::vector<SimTime> all_times;
   std::vector<ItemId> all_ids;
   all_times.reserve(journal_entries_);
@@ -194,7 +298,9 @@ void Database::SetJournalBucketWidth(SimTime width) {
   buckets_.clear();
   journal_entries_ = 0;
   for (size_t i = 0; i < all_times.size(); ++i) {
-    AppendJournal(all_ids[i], all_times[i]);
+    // Version 0 is fine: raw buckets ignore it, and re-bucketing precedes
+    // any elision (asserted above).
+    AppendJournal(all_ids[i], all_times[i], /*version=*/0);
   }
 }
 
@@ -213,11 +319,32 @@ void Database::UpdatedIn(SimTime lo, SimTime hi,
   std::vector<size_t>& starts = merge_starts_;
   starts.clear();
   for (const Bucket& bucket : buckets_) {
-    if (bucket.times.empty() || bucket.times.back() <= lo) continue;
-    if (bucket.times.front() > hi) break;
+    if (!bucket.HasEntries() || bucket.LastTime() <= lo) continue;
+    if (bucket.FirstTime() > hi) break;
     starts.push_back(out->size());
-    if (bucket.sealed && lo < bucket.times.front() &&
-        bucket.times.back() <= hi) {
+    if (bucket.digest_only) {
+      // Elided bucket: only the per-id latest-update summary exists — which
+      // is exactly what the raw scan's is-still-latest filter can ever
+      // emit (an entry superseded within the bucket is never the item's
+      // globally latest update). Filter by window and slab, already
+      // id-sorted once the lazy sort has run.
+      if (!bucket.digest_built) SortElidedDigest(bucket);
+      const std::vector<UpdatedItem>& d = bucket.digest;
+      const size_t m = d.size();
+      for (size_t i = 0; i < m; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+        if (i + kDigestPrefetchDistance < m) {
+          __builtin_prefetch(&hot_[d[i + kDigestPrefetchDistance].id],
+                             /*rw=*/0, /*locality=*/1);
+        }
+#endif
+        if (d[i].updated_at > lo && d[i].updated_at <= hi &&
+            hot_[d[i].id].last_update == d[i].updated_at) {
+          out->push_back(d[i]);
+        }
+      }
+    } else if (bucket.sealed && lo < bucket.times.front() &&
+               bucket.times.back() <= hi) {
       // Whole bucket inside the window: splice the digest (built on the
       // first such query, reused by every later one). The is-still-latest
       // filter reads one random hot-slab line per entry; prefetching a few
@@ -271,10 +398,18 @@ uint64_t Database::CountUpdatedIn(SimTime lo, SimTime hi) const {
   uint64_t count = 0;
   if (hi <= lo) return count;
   for (const Bucket& bucket : buckets_) {
-    if (bucket.times.empty() || bucket.times.back() <= lo) continue;
-    if (bucket.times.front() > hi) break;
-    if (bucket.sealed && lo < bucket.times.front() &&
-        bucket.times.back() <= hi) {
+    if (!bucket.HasEntries() || bucket.LastTime() <= lo) continue;
+    if (bucket.FirstTime() > hi) break;
+    if (bucket.digest_only) {
+      if (!bucket.digest_built) SortElidedDigest(bucket);
+      for (const UpdatedItem& d : bucket.digest) {
+        if (d.updated_at > lo && d.updated_at <= hi &&
+            hot_[d.id].last_update == d.updated_at) {
+          ++count;
+        }
+      }
+    } else if (bucket.sealed && lo < bucket.times.front() &&
+               bucket.times.back() <= hi) {
       if (!bucket.digest_built) BuildDigest(bucket);
       for (const UpdatedItem& d : bucket.digest) {
         if (hot_[d.id].last_update == d.updated_at) ++count;
@@ -295,8 +430,11 @@ std::vector<UpdatedItem> Database::JournalIn(SimTime lo, SimTime hi) const {
   std::vector<UpdatedItem> out;
   if (hi <= lo) return out;
   for (const Bucket& bucket : buckets_) {
-    if (bucket.times.empty() || bucket.times.back() <= lo) continue;
-    if (bucket.times.front() > hi) break;
+    if (!bucket.HasEntries() || bucket.LastTime() <= lo) continue;
+    if (bucket.FirstTime() > hi) break;
+    assert(!bucket.digest_only &&
+           "raw journal scan into an elided bucket (the server must not arm "
+           "elision for strategies that read JournalIn)");
     const size_t n = bucket.times.size();
     for (size_t i = FirstAfter(bucket.times, lo);
          i < n && bucket.times[i] <= hi; ++i) {
@@ -312,7 +450,10 @@ uint64_t Database::VersionAt(ItemId id, SimTime t) const {
   uint64_t after = 0;
   // Updates strictly after t are still in the journal (caller's contract).
   for (const Bucket& bucket : buckets_) {
-    if (bucket.times.empty() || bucket.times.back() <= t) continue;
+    if (!bucket.HasEntries() || bucket.LastTime() <= t) continue;
+    assert(!bucket.digest_only &&
+           "historical read into an elided bucket (per-id multiplicity was "
+           "not retained)");
     const size_t n = bucket.times.size();
     for (size_t i = FirstAfter(bucket.times, t); i < n; ++i) {
       if (bucket.ids[i] == id) ++after;
@@ -327,12 +468,17 @@ uint64_t Database::ValueAt(ItemId id, SimTime t) const {
 }
 
 void Database::PruneJournalBefore(SimTime horizon) {
-  while (!buckets_.empty() && buckets_.front().times.back() <= horizon) {
-    journal_entries_ -= buckets_.front().times.size();
+  while (!buckets_.empty() && buckets_.front().HasEntries() &&
+         buckets_.front().LastTime() <= horizon) {
+    journal_entries_ -= buckets_.front().EntryCount();
     RecycleBucket(&buckets_.front());
     buckets_.pop_front();
   }
-  if (buckets_.empty() || buckets_.front().times.front() > horizon) return;
+  if (buckets_.empty() || buckets_.front().FirstTime() > horizon) return;
+  // Elided front bucket partially past the horizon: keep it whole. Pruning
+  // exists to bound memory, not for correctness — window queries filter by
+  // time — and the per-id dedup already bounds the bucket's size.
+  if (buckets_.front().digest_only) return;
   // Partially covered front bucket: trim the raw prefix and any digest
   // entries that fell with it (a digest entry at or before the horizon can
   // no longer be any surviving entry's latest time).

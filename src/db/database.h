@@ -23,6 +23,19 @@
 // Pruning drops whole buckets and recycles their storage into a small free
 // list, so the steady state (one bucket appended, one pruned per interval)
 // allocates nothing.
+//
+// Quiet-stretch journal elision: a strategy whose update feed makes it
+// journal-quiescent (SIG/hybrid — they never window-query once the dirty-set
+// observer is attached) lets the server arm EnableJournalElision +
+// SetJournalElideHint around elided broadcast intervals. Buckets opened
+// under the hint skip the raw time/id arrays entirely and maintain the
+// digest directly — each id once at its latest in-bucket time, deduplicated
+// in place through an epoch-tagged per-item mark — plus the raw entry count
+// and per-entry slab versions, a summary sufficient to serve any late
+// window query (the digest filtered by window and is-still-latest equals
+// the raw scan's output exactly). The raw readers (JournalIn, VersionAt)
+// assert they never meet an elided bucket; the server only arms elision for
+// strategies that cannot reach them.
 
 #ifndef MOBICACHE_DB_DATABASE_H_
 #define MOBICACHE_DB_DATABASE_H_
@@ -97,6 +110,14 @@ class Database {
   /// non-decreasing across calls.
   void ApplyUpdate(ItemId id, SimTime now);
 
+  /// Applies `count` updates in one pass: a prefetched walk over the hot
+  /// slab with the same per-update effects (version bump, timestamp,
+  /// journal append, observer dispatch, in order) as `count` ApplyUpdate
+  /// calls. `times` must be non-decreasing and continue the journal's tail.
+  /// The batched update kernel's sink (UpdateGenerator batch mode).
+  void ApplyUpdateBatch(const ItemId* ids, const SimTime* times,
+                        size_t count);
+
   /// Hints that `id` will be updated soon. With millions of items the
   /// per-update random access to the hot slab misses every cache level; a
   /// caller that knows the id ahead of time (the update generator samples it
@@ -169,6 +190,24 @@ class Database {
   void SetJournalEnabled(bool enabled);
   bool journal_enabled() const { return journal_enabled_; }
 
+  /// Arms quiet-stretch journal elision (see the file comment): pre-sizes
+  /// the per-item dedup marks so the elided append path never allocates.
+  /// The caller (the server) must guarantee no raw journal reader
+  /// (JournalIn, VersionAt) ever runs against this database afterwards.
+  void EnableJournalElision();
+  bool journal_elision_enabled() const { return !elide_marks_.empty(); }
+
+  /// While the hint is set (and elision is armed), buckets opened by
+  /// appends store the digest-only summary instead of raw entries. The
+  /// server toggles this per interval: on after an elided quiet broadcast,
+  /// off otherwise. Takes effect at the next bucket boundary; an already
+  /// open bucket keeps its representation.
+  void SetJournalElideHint(bool elide) { elide_hint_ = elide; }
+  bool journal_elide_hint() const { return elide_hint_; }
+
+  /// Journal buckets stored digest-only since construction (diagnostic).
+  uint64_t elided_journal_buckets() const { return elided_buckets_; }
+
   /// Installs a callback invoked after every ApplyUpdate. Used by the
   /// stateful-server baseline, which reacts to individual updates instead of
   /// building periodic reports. Pass nullptr to remove.
@@ -209,10 +248,31 @@ class Database {
     /// Built lazily on the first fully-covering window query of a sealed
     /// bucket: each id once at its latest in-bucket time (ties kept with
     /// their multiplicity), ascending by id. `mutable` because the build is
-    /// a cache fill under const query methods.
+    /// a cache fill under const query methods. Elided (digest_only) buckets
+    /// maintain it directly instead of the raw arrays — append order while
+    /// open, id-sorted lazily by the first query that needs it.
     mutable std::vector<UpdatedItem> digest;
     mutable bool digest_built = false;
     bool sealed = false;  ///< The clock has moved past this bucket.
+    /// Elided representation (see the file comment): times/ids stay empty.
+    bool digest_only = false;
+    /// Slab version written by each digest entry's update, parallel to
+    /// `digest` while in append order (the "(count, per-item last-version)"
+    /// summary). Dropped when the digest gets id-sorted — queries identify
+    /// still-latest entries through the hot slab, not the version.
+    mutable std::vector<uint64_t> digest_versions;
+    size_t raw_count = 0;       ///< Raw updates absorbed (digest_only).
+    SimTime first_time = 0.0;   ///< First/last raw update time
+    SimTime last_time = 0.0;    ///< (digest_only; raw buckets use times).
+
+    bool HasEntries() const {
+      return digest_only ? raw_count > 0 : !times.empty();
+    }
+    SimTime FirstTime() const {
+      return digest_only ? first_time : times.front();
+    }
+    SimTime LastTime() const { return digest_only ? last_time : times.back(); }
+    size_t EntryCount() const { return digest_only ? raw_count : times.size(); }
   };
 
   /// FIFO of journal buckets over a flat vector: pop_front leaves a dead
@@ -271,7 +331,29 @@ class Database {
     return SyntheticValue(seed_, id, version);
   }
   int64_t BucketIndexFor(SimTime t) const;
-  void AppendJournal(ItemId id, SimTime now);
+  /// `version` is the slab version just written for `id` (recorded by the
+  /// elided representation; raw buckets ignore it).
+  void AppendJournal(ItemId id, SimTime now, uint64_t version);
+  /// Digest-only append into the open tail bucket: overwrite the id's
+  /// existing entry (epoch-tagged mark hit) or append a new one.
+  void AppendJournalElided(ItemId id, SimTime now, uint64_t version);
+  /// Time of the newest journal entry (assert support for the monotonic
+  /// append contract). Journal must be non-empty.
+  SimTime JournalTailTime() const {
+    return buckets_.back().LastTime();
+  }
+  /// In-order observer dispatch shared by ApplyUpdate and the batch path.
+  void DispatchUpdateObservers(ItemId id, SimTime now) {
+    if (single_observer_ != nullptr) {
+      (*single_observer_)(id, now);
+    } else if (multi_observers_) {
+      if (observer_) observer_(id, now);
+      for (const auto& observer : extra_observers_) observer(id, now);
+    }
+  }
+  /// Id-sorts an elided bucket's digest on its first query (the lazy
+  /// equivalent of BuildDigest; drops the no-longer-aligned versions).
+  static void SortElidedDigest(const Bucket& bucket);
   /// Appends a fresh bucket with `index`, reusing recycled storage when
   /// available and reserving `reserve_hint` entries.
   void PushBucket(int64_t index, size_t reserve_hint);
@@ -291,6 +373,18 @@ class Database {
   size_t journal_entries_ = 0;
   SimTime bucket_width_ = 0.0;
   bool journal_enabled_ = true;
+  bool elide_hint_ = false;
+  uint64_t elided_buckets_ = 0;
+  /// Per-item dedup marks for the open elided bucket: high 32 bits hold the
+  /// bucket epoch, low 32 the digest slot. A stale epoch is simply a miss,
+  /// so switching buckets is O(1). Empty until EnableJournalElision.
+  std::vector<uint64_t> elide_marks_;
+  uint64_t elide_epoch_ = 0;  ///< Bumped per elided bucket; starts marks stale.
+  /// High-water distinct-item count across sealed elided buckets. Newly
+  /// opened elided buckets reserve twice this (capped at n), so steady-state
+  /// digest appends stay allocation-free: a realloc needs one bucket to
+  /// double the record distinct count.
+  size_t digest_high_water_ = 0;
   uint64_t total_updates_ = 0;
   uint64_t seed_;
   std::function<void(ItemId, SimTime)> observer_;

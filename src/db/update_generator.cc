@@ -4,7 +4,18 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/wall_timer.h"
+
 namespace mobicache {
+
+namespace {
+
+/// Updates staged per ApplyUpdateBatch call. Large enough that the per-call
+/// overhead (virtual-free, but a call and a couple of branch misses)
+/// amortizes away, small enough that the staging arrays stay L1-resident.
+constexpr size_t kBatchChunk = 1024;
+
+}  // namespace
 
 UpdateGenerator::UpdateGenerator(Simulator* sim, Database* db,
                                  double mu_per_item, uint64_t seed)
@@ -29,16 +40,37 @@ UpdateGenerator::UpdateGenerator(Simulator* sim, Database* db,
 
 UpdateGenerator::~UpdateGenerator() { Stop(); }
 
+void UpdateGenerator::EnableBatchMode() {
+  assert(!active_ && "switch modes before Start()");
+  if (batch_mode_) return;
+  batch_mode_ = true;
+  batch_ids_.resize(kBatchChunk);
+  batch_times_.resize(kBatchChunk);
+}
+
 Status UpdateGenerator::Start() {
   if (active_) return Status::FailedPrecondition("generator already started");
   active_ = true;
-  if (total_rate_ > 0.0) ScheduleNext();
+  if (total_rate_ > 0.0) {
+    if (batch_mode_) {
+      PrimeBatch();
+    } else {
+      ScheduleNext();
+    }
+  }
   return Status::OK();
 }
 
 void UpdateGenerator::Stop() {
   if (!active_) return;
-  sim_->Cancel(pending_);
+  if (batch_mode_) {
+    // The per-event engine has dispatched every update event with time
+    // <= Now() when a run stops; drain to the same point before going
+    // inactive so both modes leave identical database state behind.
+    GenerateIntervalUpdates(sim_->Now(), /*inclusive=*/true);
+  } else {
+    sim_->Cancel(pending_);
+  }
   active_ = false;
 }
 
@@ -54,6 +86,15 @@ void UpdateGenerator::ScheduleNext() {
   pending_ = sim_->ScheduleAfter(gap, [this] { Fire(); });
 }
 
+void UpdateGenerator::PrimeBatch() {
+  // Identical draws to ScheduleNext (gap, then item); the gap becomes the
+  // absolute pending time instead of a scheduled event.
+  const double gap = rng_.Exponential(total_rate_);
+  next_item_ = SampleItem();
+  db_->PrefetchItem(next_item_);
+  next_time_ = sim_->Now() + gap;
+}
+
 void UpdateGenerator::Fire() {
   const ItemId item = next_item_;
   // Draw and schedule the follow-up update *before* applying this one: the
@@ -64,6 +105,37 @@ void UpdateGenerator::Fire() {
   ScheduleNext();
   db_->ApplyUpdate(item, sim_->Now());
   ++updates_generated_;
+}
+
+void UpdateGenerator::GenerateIntervalUpdates(SimTime through, bool inclusive) {
+  if (!batch_mode_ || !active_ || total_rate_ <= 0.0) return;
+  if (inclusive ? next_time_ > through : next_time_ >= through) return;
+  WallTimer timer(&update_wall_seconds_);
+  ItemId* const ids = batch_ids_.data();
+  SimTime* const times = batch_times_.data();
+  size_t count = 0;
+  for (;;) {
+    ids[count] = next_item_;
+    times[count] = next_time_;
+    ++count;
+    // Same per-cycle draw order as the per-event path — gap, then item —
+    // drawn one update ahead of its application. `next_time_ += gap`
+    // reproduces ScheduleAfter's event times exactly: both accumulate the
+    // same doubles by repeated addition from the Start() time.
+    next_time_ += rng_.Exponential(total_rate_);
+    next_item_ = SampleItem();
+    const bool due = inclusive ? next_time_ <= through : next_time_ < through;
+    if (count == kBatchChunk || !due) {
+      db_->ApplyUpdateBatch(ids, times, count);
+      updates_generated_ += count;
+      batched_applied_ += count;
+      count = 0;
+      if (!due) break;
+    }
+  }
+  // The pending pair outlives the pump; give its slab line the span until
+  // the next pump point to arrive, like the per-event one-ahead prefetch.
+  db_->PrefetchItem(next_item_);
 }
 
 ItemId UpdateGenerator::SampleItem() {

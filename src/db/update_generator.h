@@ -3,6 +3,27 @@
 // superposed process (one exponential clock at rate n*mu, uniform item
 // choice), which also generalizes to non-uniform per-item weights (Zipf)
 // for the weighted-signature / adaptive-window extensions.
+//
+// Two delivery modes share one RNG stream:
+//
+//  * Per-event (default): every update is its own scheduled event
+//    (ScheduleNext/Fire), interleaved with the rest of the simulation. This
+//    is required when an update observer has simulation side effects at the
+//    update instant (the stateful-server invalidation push, the async
+//    broadcaster, MegaCell's update trace).
+//  * Batched (EnableBatchMode): the generator holds the predrawn next
+//    (time, item) pair and GenerateIntervalUpdates drains everything due
+//    before a pump point in one tight loop through
+//    Database::ApplyUpdateBatch — zero scheduler traffic for ~all of the
+//    hottest event class. The pump points (server broadcast head, uplink
+//    fetch, delivery consumption, the sharded engine's window barrier, and
+//    the end-of-run drain) are exactly the places a reader can first
+//    observe an update, so the database trajectory every reader sees —
+//    values, journal buckets, observer call order, timestamps — is
+//    bit-identical to the per-event interleaving.
+//
+// The RNG draw order is identical in both modes: one (gap, item) pair per
+// cycle, drawn one update ahead of its application.
 
 #ifndef MOBICACHE_DB_UPDATE_GENERATOR_H_
 #define MOBICACHE_DB_UPDATE_GENERATOR_H_
@@ -35,13 +56,28 @@ class UpdateGenerator {
   UpdateGenerator& operator=(const UpdateGenerator&) = delete;
   ~UpdateGenerator();
 
+  /// Switches to batched-interval mode (see the file comment). Must be
+  /// called before Start(); preallocates the batch staging buffers so the
+  /// drain loop never allocates.
+  void EnableBatchMode();
+  bool batch_mode() const { return batch_mode_; }
+
   /// Begins generating updates from the current simulation time. Returns
   /// FailedPrecondition if already started. A zero total rate is legal and
   /// generates nothing.
   Status Start();
 
-  /// Stops generating; pending update events are cancelled. Idempotent.
+  /// Stops generating. Per-event mode cancels the pending update event;
+  /// batch mode first drains updates due at or before the current
+  /// simulation time (matching the per-event engine, which has dispatched
+  /// exactly those when a run stops at Now()). Idempotent.
   void Stop();
+
+  /// Batch mode: applies every pending update with time < `through`
+  /// (<= `through` when `inclusive`) via Database::ApplyUpdateBatch. No-op
+  /// in per-event mode, before Start(), or when nothing is due — callers
+  /// pump unconditionally from every observation point.
+  void GenerateIntervalUpdates(SimTime through, bool inclusive);
 
   /// Per-item rate for `id`.
   double RateOf(ItemId id) const;
@@ -51,10 +87,24 @@ class UpdateGenerator {
 
   uint64_t updates_generated() const { return updates_generated_; }
 
+  /// Updates applied through the batched path. Each of these was one
+  /// dispatched simulator event before batching, so engines add this to
+  /// DispatchedEvents() when reporting the events/sec denominator.
+  uint64_t batched_updates_applied() const { return batched_applied_; }
+
+  /// Wall time spent inside GenerateIntervalUpdates over the whole run
+  /// (diagnostic, like Server::broadcast_wall_seconds). Always 0 in
+  /// per-event mode, where update application is indistinguishable from
+  /// scheduler time.
+  double update_wall_seconds() const { return update_wall_seconds_; }
+
  private:
   void ScheduleNext();
   void Fire();
   ItemId SampleItem();
+  /// Draws the first (gap, item) pair in batch mode — same draws as
+  /// ScheduleNext, minus the scheduled event.
+  void PrimeBatch();
 
   /// The item of the *pending* update. Sampled at schedule time — one event
   /// ahead of its ApplyUpdate — so its state line can be prefetched across
@@ -62,6 +112,10 @@ class UpdateGenerator {
   /// draws per cycle (gap, then item) happen in the same order as sampling
   /// the item inside Fire() did.
   ItemId next_item_ = 0;
+  /// Batch mode: absolute time of the pending update. Advanced by repeated
+  /// `+= gap` addition, the exact double sequence ScheduleAfter produces in
+  /// per-event mode.
+  SimTime next_time_ = 0.0;
 
   Simulator* sim_;
   Database* db_;
@@ -71,8 +125,15 @@ class UpdateGenerator {
   std::vector<double> rate_cdf_;    // cumulative rates for weighted sampling
   double total_rate_ = 0.0;
   bool active_ = false;
+  bool batch_mode_ = false;
   EventId pending_{};
   uint64_t updates_generated_ = 0;
+  uint64_t batched_applied_ = 0;
+  double update_wall_seconds_ = 0.0;
+  /// Staging arrays for one ApplyUpdateBatch chunk (preallocated by
+  /// EnableBatchMode; written through raw pointers in the drain loop).
+  std::vector<ItemId> batch_ids_;
+  std::vector<SimTime> batch_times_;
 };
 
 /// Builds a per-item rate vector whose ranks follow Zipf(theta) and whose

@@ -104,6 +104,16 @@ Status Cell::Build() {
                                      sc);
   wake_index_.Resize(config_.num_units);
   server_->AttachWakeIndex(&wake_index_);
+  if (!stateful && !async) {
+    // Stateful and async modes install update observers with simulation
+    // side effects at the update instant (registry invalidation pushes,
+    // async broadcast events), so their updates must stay interleaved
+    // per-event. Every other strategy only *reads* database state, and
+    // every read site is a pump point — the update stream can drain in
+    // batches with an identical observable trajectory.
+    updates_->EnableBatchMode();
+    server_->SetUpdatePump(updates_.get());
+  }
 
   Rng hotspot_rng(hotspot_seed);
   const std::vector<ItemId> shared =
@@ -230,7 +240,11 @@ CellResult Cell::result() const {
       decisions == 0 ? 0.0
                      : static_cast<double>(r.reports_missed) /
                            static_cast<double>(decisions);
-  r.sim_events = sim_->DispatchedEvents();
+  // Batched updates no longer pass through the scheduler, but each was one
+  // dispatched event under the per-event engine; count them back in so the
+  // events/sec denominator measures the same simulated work either way.
+  r.sim_events = sim_->DispatchedEvents() + updates_->batched_updates_applied();
+  r.updates_applied = updates_->updates_generated();
   r.channel = channel_->stats();
 
   const StrategyEval eval = EvalFromMeasurements(config_.model, r.hit_ratio,

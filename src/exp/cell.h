@@ -117,9 +117,14 @@ struct CellResult {
   double measured_sleep_fraction = 0.0;
   uint64_t items_invalidated = 0;
   double listen_seconds_total = 0.0;
-  /// Events the simulator dispatched over the whole run (warmup included);
-  /// the bench harness's events/sec denominator.
+  /// Simulated events over the whole run (warmup included); the bench
+  /// harness's events/sec denominator. Counts every event the simulator
+  /// dispatched plus every update applied through the batched drain path —
+  /// each of those was one dispatched event under the per-event engine, so
+  /// the denominator measures the same simulated work in both modes.
   uint64_t sim_events = 0;
+  /// Updates applied to the database over the whole run (either mode).
+  uint64_t updates_applied = 0;
   ChannelStats channel;
 
   // Derived through Eq. 9/10 from the measured hit ratio and report size.
@@ -165,6 +170,15 @@ class Cell {
   double server_wall_seconds() const {
     return server_ == nullptr ? 0.0 : server_->broadcast_wall_seconds();
   }
+
+  /// Wall time spent draining the batched update stream (a sub-account of
+  /// the broadcast wall for pumps at the broadcast head; 0 in per-event
+  /// modes). See UpdateGenerator::update_wall_seconds.
+  double update_wall_seconds() const {
+    return updates_ == nullptr ? 0.0 : updates_->update_wall_seconds();
+  }
+
+  UpdateGenerator* updates() { return updates_.get(); }
 
  private:
   CellConfig config_;

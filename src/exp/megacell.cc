@@ -215,6 +215,14 @@ Status MegaCell::Build() {
   server_->SetDeliverySink([this](Server::ReportDelivery d) {
     pending_deliveries_.push_back(std::move(d));
   });
+  if (!trace_updates_) {
+    // Same gating as Cell::Build: the stateful/async baselines consume a
+    // per-event update trace, every other strategy only reads database
+    // state at pump points. The sharded engine adds one pump at the window
+    // barrier so shards read a database advanced exactly to the cut.
+    updates_->EnableBatchMode();
+    server_->SetUpdatePump(updates_.get());
+  }
 
   // Contiguous partition: shard s holds global units
   // [shard_offset_[s], shard_offset_[s + 1]), the first `rem` shards one
@@ -478,6 +486,10 @@ void MegaCell::AdvanceWindow(SimTime cut, bool inclusive) {
   } else {
     sim_->RunUntilBefore(cut);
   }
+  // The shard phase answers uplinks from the quiescent database; drain the
+  // batched update stream to the cut (matching inclusivity) so it holds
+  // exactly the state the per-event engine would have reached.
+  updates_->GenerateIntervalUpdates(cut, inclusive);
   server_wall_seconds_ += SecondsSince(t0);
 
   // Shard phase: one lane per shard, pinned (lane == shard index). The
@@ -667,10 +679,13 @@ CellResult MegaCell::result() const {
       decisions == 0 ? 0.0
                      : static_cast<double>(r.reports_missed) /
                            static_cast<double>(decisions);
-  r.sim_events = sim_->DispatchedEvents();
+  // Batched updates count back into the denominator (one dispatched event
+  // each under the per-event engine), as in Cell::result().
+  r.sim_events = sim_->DispatchedEvents() + updates_->batched_updates_applied();
   for (const auto& shard : shards_) {
     r.sim_events += shard->sim.DispatchedEvents();
   }
+  r.updates_applied = updates_->updates_generated();
   r.channel = channel_->stats();
 
   const StrategyEval eval = EvalFromMeasurements(

@@ -123,6 +123,11 @@ class MegaCell {
   /// Records replayed at the barriers (shard log entries + async trace
   /// broadcasts), warmup included.
   uint64_t replay_records() const { return replay_records_; }
+  /// Wall time draining the batched update stream — a sub-account of the
+  /// server phase (pumps run inside it); 0 in per-event modes.
+  double update_wall_seconds() const {
+    return updates_ == nullptr ? 0.0 : updates_->update_wall_seconds();
+  }
 
   // Stateful/async counter sums across shard replicas (0 for other modes).
   uint64_t registry_control_messages() const;

@@ -85,6 +85,8 @@ void RunSweepJob(const SweepJob& job, uint64_t warmup_intervals,
   timing->shard_seconds = cell.shard_phase_wall_seconds();
   timing->replay_seconds = cell.replay_wall_seconds();
   timing->replay_records = cell.replay_records();
+  timing->update_seconds = cell.update_wall_seconds();
+  if (slot->has_value()) timing->updates_applied = (*slot)->updates_applied;
   if (!s.ok()) *status = std::move(s);
 }
 

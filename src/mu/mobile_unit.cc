@@ -145,7 +145,22 @@ void MobileUnit::ScheduleNextTick(uint64_t interval) {
   SimTime when = sim_->Now() + config_.latency;
   const bool idle = !awake_ || total_query_rate_ <= 0.0;
   if (idle) {
+    const uint64_t horizon = interval + WakeIndex::kMaxLookaheadIntervals;
     for (uint64_t scanned = 1;; ++scanned) {
+      if (!awake_) {
+        // Mid-nap hop: intervals the model has already determined (asleep,
+        // draw-free) are skipped outright, without spending the scan's
+        // draw budget. Clamped to the wake index's lookahead horizon; a
+        // clamped hop schedules a plain continuation tick with no predrawn
+        // decision (OnIntervalTick consults the model then) — still zero
+        // draws across the whole nap.
+        uint64_t hop = sleep_->NextPossiblyAwakeInterval(next);
+        if (hop > horizon) hop = horizon;
+        // Repeated addition, not multiplication: tick times must remain
+        // the exact doubles the per-interval schedule would have produced.
+        for (; next < hop; ++next) when += config_.latency;
+        if (next >= horizon) break;
+      }
       const bool decision = sleep_->AwakeForInterval(next);
       if (decision != awake_ || scanned >= kMaxFastForwardScan) {
         has_predrawn_ = true;
@@ -154,8 +169,7 @@ void MobileUnit::ScheduleNextTick(uint64_t interval) {
         break;
       }
       ++next;
-      // Repeated addition, not multiplication: tick times must remain the
-      // exact doubles the per-interval schedule would have produced.
+      // Same exactness argument as the hop above.
       when += config_.latency;
     }
   }

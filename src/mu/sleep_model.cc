@@ -39,14 +39,37 @@ void RenewalSleepModel::AdvanceTo(SimTime t) {
 }
 
 bool RenewalSleepModel::AwakeForInterval(uint64_t interval) {
-  assert(interval == next_interval_ && "intervals must be consumed in order");
-  ++next_interval_;
+  assert(interval >= next_interval_ && "intervals must advance");
+  // Forward jumps are legal only over predetermined intervals: asleep, with
+  // every skipped start at or before the drawn transition — each skipped
+  // consultation would have drawn nothing and returned false, so jumping
+  // leaves the RNG stream and state trajectory bit-identical.
+  assert(interval == next_interval_ ||
+         (!awake_ &&
+          latency_ * static_cast<double>(interval - 1) <= next_transition_));
+  next_interval_ = interval + 1;
   const SimTime start = latency_ * static_cast<double>(interval);
   const SimTime end = start + latency_;
   AdvanceTo(start);
   // Awake for the whole interval iff currently awake and the next flip (to
   // sleep) lands at or beyond the interval end.
   return awake_ && next_transition_ >= end;
+}
+
+uint64_t RenewalSleepModel::NextPossiblyAwakeInterval(uint64_t from) const {
+  // Awake, or the transition already precedes `from`'s start: nothing is
+  // predetermined. (The comparison is the exact multiplication
+  // AwakeForInterval uses for its AdvanceTo bound, so no interval whose
+  // consultation would draw is ever skipped.)
+  if (awake_) return from;
+  const SimTime flip = next_transition_;
+  if (latency_ * static_cast<double>(from) > flip) return from;
+  // Smallest j with latency_ * j > flip, found by floor division and then
+  // exact-comparison adjustment (the division may land an ulp off).
+  uint64_t j = static_cast<uint64_t>(flip / latency_);
+  while (j > from && latency_ * static_cast<double>(j) > flip) --j;
+  while (latency_ * static_cast<double>(j) <= flip) ++j;
+  return j > from ? j : from;
 }
 
 double RenewalSleepModel::EffectiveSleepProbability() const {

@@ -27,6 +27,18 @@ class SleepModel {
   /// starting at T_interval).
   virtual bool AwakeForInterval(uint64_t interval) = 0;
 
+  /// First interval >= `from` whose AwakeForInterval decision is not
+  /// already determined (false) by the model's current state. Intervals in
+  /// [from, returned) may be skipped outright: consulting each would have
+  /// consumed no randomness and returned false, so a later
+  /// AwakeForInterval(j) with j up to the returned index produces the same
+  /// draws and decisions as consulting every interval in order. Must not
+  /// consume randomness or mutate the model. Default: `from` (no interval
+  /// is ever predetermined).
+  virtual uint64_t NextPossiblyAwakeInterval(uint64_t from) const {
+    return from;
+  }
+
   /// Long-run fraction of intervals spent asleep (the model's "s").
   virtual double EffectiveSleepProbability() const = 0;
 };
@@ -54,6 +66,12 @@ class RenewalSleepModel : public SleepModel {
                     uint64_t seed);
 
   bool AwakeForInterval(uint64_t interval) override;
+
+  /// Mid-nap the next transition time is already drawn, so every interval
+  /// starting at or before it is a known (draw-free) "asleep": the exact
+  /// first possibly-awake interval costs one division, not a per-interval
+  /// consultation. Awake, it returns `from` (the next decision can flip).
+  uint64_t NextPossiblyAwakeInterval(uint64_t from) const override;
 
   /// Probability that a whole interval contains no sleep time, estimated
   /// from the stationary renewal process (used to pick comparable s values):

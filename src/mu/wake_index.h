@@ -18,8 +18,9 @@
 // Registration invariants (kept by MobileUnit::ScheduleNextTick):
 //  * an awake unit occupies its bitmap bit and has no wake registration;
 //  * a sleeping unit is registered under the interval index of its wake
-//    tick, which the fast-forward scan bounds to at most kMaxFastForwardScan
-//    intervals ahead — hence the fixed ring of wake buckets below;
+//    tick, which the fast-forward scan bounds to at most
+//    kMaxLookaheadIntervals ahead (draw budget plus the renewal model's
+//    draw-free mid-nap hop) — hence the fixed ring of wake buckets below;
 //  * all units of one interval's wake bucket share the same tick time
 //    (boundary doubles are produced by identical repeated addition).
 
@@ -38,13 +39,16 @@ namespace mobicache {
 
 class WakeIndex {
  public:
-  /// Sleeping units wake within kMaxFastForwardScan (= 64) intervals of the
-  /// tick that put them to sleep, so live registrations at a broadcast for
-  /// interval i span at most [i, i + 64] (the i case is a tick the sharded
-  /// engine has not run yet). A 128-slot ring indexed by interval keeps
+  /// Sleeping units register a wake tick at most kMaxLookaheadIntervals
+  /// ahead of the tick that put them to sleep: the fast-forward scan draws
+  /// at most kMaxFastForwardScan (= 64) decisions, and the renewal model's
+  /// mid-nap hop (draw-free predetermined intervals) is clamped to this
+  /// horizon. Live registrations at a broadcast for interval i thus span at
+  /// most [i, i + kMaxLookaheadIntervals] (the i case is a tick the sharded
+  /// engine has not run yet); a ring of 2x that, indexed by interval, keeps
   /// every live bucket distinct.
-  static constexpr uint64_t kRingSize = 128;
-  static constexpr uint64_t kMaxLookaheadIntervals = 64;
+  static constexpr uint64_t kRingSize = 1024;
+  static constexpr uint64_t kMaxLookaheadIntervals = 512;
 
   /// Sizes the index for `n` slots, all initially awake. Conservative by
   /// design: an "awake" slot can never cause a broadcast to be elided, and

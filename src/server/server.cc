@@ -3,35 +3,13 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
-#include <chrono>
 #include <limits>
 #include <utility>
 
+#include "db/update_generator.h"
+#include "util/wall_timer.h"
+
 namespace mobicache {
-
-namespace {
-
-/// Accumulates wall time into `*acc` over its scope; steady_clock only (the
-/// detlint wall-clock ban covers the non-monotonic clocks). Diagnostics, not
-/// simulation state: nothing deterministic reads the accumulated value.
-class WallTimer {
- public:
-  explicit WallTimer(double* acc)
-      : acc_(acc), t0_(std::chrono::steady_clock::now()) {}
-  ~WallTimer() {
-    *acc_ +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
-            .count();
-  }
-  WallTimer(const WallTimer&) = delete;
-  WallTimer& operator=(const WallTimer&) = delete;
-
- private:
-  double* acc_;
-  std::chrono::steady_clock::time_point t0_;
-};
-
-}  // namespace
 
 Server::Server(Simulator* sim, Database* db, Channel* channel,
                std::unique_ptr<ServerStrategy> strategy,
@@ -59,6 +37,12 @@ void Server::AttachWakeIndex(const WakeIndex* index) {
   wake_indexes_.push_back(index);
 }
 
+void Server::SetUpdatePump(UpdateGenerator* pump) {
+  assert(broadcaster_ == nullptr && "attach the update pump before Start()");
+  assert(pump == nullptr || pump->batch_mode());
+  update_pump_ = pump;
+}
+
 Status Server::Start() {
   if (broadcaster_ != nullptr) {
     return Status::FailedPrecondition("server already started");
@@ -68,6 +52,14 @@ Status Server::Start() {
   // let incremental strategies tap the update stream directly.
   db_->SetJournalBucketWidth(config_.latency);
   strategy_->AttachUpdateFeed(db_);
+  // Quiet-stretch journal elision: a feed-driven strategy never reads a
+  // journal *window*, leaving sealed-digest splices as the only remaining
+  // journal consumers — exactly what a digest-only bucket can serve. Armed
+  // here; the per-bucket go/no-go hint tracks each interval's elide
+  // decision at the end of Broadcast().
+  journal_elision_ok_ = config_.quiet_elision && db_->journal_enabled() &&
+                        strategy_->JournalQuiescentWithFeed();
+  if (journal_elision_ok_) db_->EnableJournalElision();
   broadcaster_ = std::make_unique<PeriodicProcess>(
       sim_, sim_->Now(), config_.latency,
       [this](uint64_t interval) { Broadcast(interval); });
@@ -110,6 +102,12 @@ std::shared_ptr<Report>& Server::AcquireReportSlot() {
 
 void Server::Broadcast(uint64_t interval) {
   WallTimer timer(&broadcast_wall_seconds_);
+  // Batched update drain: everything strictly before this broadcast instant
+  // becomes visible before the report builds — the per-event engine had
+  // dispatched exactly those update events when this one fired.
+  if (update_pump_ != nullptr) {
+    update_pump_->GenerateIntervalUpdates(sim_->Now(), /*inclusive=*/false);
+  }
   const SimTime now = sim_->Now();
   // The jitter draw moved ahead of the report build: the delivery model owns
   // a private RNG stream, so the draw order relative to the (draw-free)
@@ -190,6 +188,15 @@ void Server::Broadcast(uint64_t interval) {
       Deliver(report, bits, jitter, duration);
     });
   }
+
+  // Journal representation for the interval this broadcast opens: its
+  // updates are pumped between now and the next broadcast, into the bucket
+  // that opens with them. When the delivery was elided the cell is mid
+  // quiet-stretch — no unit is awake to observe, and every later cache
+  // answer carries a validity timestamp at or past its own (heard, hence
+  // non-elided) report — so the bucket's per-update records are unreachable
+  // and it may stay digest-only.
+  db_->SetJournalElideHint(journal_elision_ok_ && elide_delivery);
 }
 
 void Server::Deliver(std::shared_ptr<const Report> report, uint64_t bits,
@@ -208,6 +215,12 @@ void Server::Deliver(std::shared_ptr<const Report> report, uint64_t bits,
   // bin elided intervals exactly like materialized ones.
   sim_->ScheduleAt(done, [this, report = std::move(report), listen, done] {
     WallTimer timer(&broadcast_wall_seconds_);
+    // Drain updates due before the consumption instant: report observers
+    // and unit answers snapshot ground truth here, and the per-event engine
+    // had applied exactly the updates with time < done by this point.
+    if (update_pump_ != nullptr) {
+      update_pump_->GenerateIntervalUpdates(done, /*inclusive=*/false);
+    }
     ++deliveries_completed_;
     if (report == nullptr) {
       if (delivery_path_ == DeliveryPath::kSink) {
@@ -283,6 +296,11 @@ void Server::AccountUplinkQuery(const UplinkQueryInfo& info) {
 }
 
 UplinkService::FetchResult Server::FetchItem(const UplinkQueryInfo& info) {
+  // The fetched value must reflect every update strictly before the fetch
+  // instant, exactly as the per-event interleaving would have applied them.
+  if (update_pump_ != nullptr) {
+    update_pump_->GenerateIntervalUpdates(sim_->Now(), /*inclusive=*/false);
+  }
   AccountUplinkQuery(info);
   return FetchResult{db_->ValueOf(info.id), sim_->Now()};
 }

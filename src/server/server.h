@@ -32,6 +32,8 @@
 
 namespace mobicache {
 
+class UpdateGenerator;
+
 struct ServerConfig {
   SimTime latency = 10.0;  ///< L: broadcast period in seconds.
   MessageSizes sizes;      ///< Bit costs of the message vocabulary.
@@ -91,6 +93,20 @@ class Server : public UplinkService {
   /// (aggregated for the wake horizon only — fan-out happens shard-side).
   /// Call before Start().
   void AttachWakeIndex(const WakeIndex* index);
+
+  /// Attaches a batched update generator as the server's update pump. The
+  /// server then drains pending updates at every point a reader can first
+  /// observe database state — the broadcast head (before the report build),
+  /// each uplink fetch, and the delivery-consumption instant — so the
+  /// database trajectory every reader sees is identical to the per-event
+  /// interleaving. The sharded engine adds one more pump at its window
+  /// barrier. Call before Start().
+  void SetUpdatePump(UpdateGenerator* pump);
+
+  /// Whether quiet-stretch journal elision is armed (set at Start): the
+  /// strategy is feed-driven and never reads journal windows, so buckets
+  /// laid down during elided intervals keep only their digest summary.
+  bool journal_elision_armed() const { return journal_elision_ok_; }
 
   /// Schedules periodic broadcasts at T_i = i*L starting at the current
   /// simulation time.
@@ -209,6 +225,8 @@ class Server : public UplinkService {
   uint64_t deliveries_completed_ = 0;
   uint64_t intervals_since_prune_ = 0;
   double broadcast_wall_seconds_ = 0.0;
+  UpdateGenerator* update_pump_ = nullptr;
+  bool journal_elision_ok_ = false;
 };
 
 }  // namespace mobicache

@@ -1,0 +1,33 @@
+// Scoped wall-clock accumulator for run-lifetime phase diagnostics (the
+// broadcast/update/shard/replay wall splits surfaced in BENCH_*.json).
+// steady_clock only — the detlint wall-clock ban covers the non-monotonic
+// clocks — and nothing deterministic ever reads the accumulated value.
+
+#ifndef MOBICACHE_UTIL_WALL_TIMER_H_
+#define MOBICACHE_UTIL_WALL_TIMER_H_
+
+#include <chrono>
+
+namespace mobicache {
+
+/// Accumulates the wall time of its scope into `*acc`.
+class WallTimer {
+ public:
+  explicit WallTimer(double* acc)
+      : acc_(acc), t0_(std::chrono::steady_clock::now()) {}
+  ~WallTimer() {
+    *acc_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+            .count();
+  }
+  WallTimer(const WallTimer&) = delete;
+  WallTimer& operator=(const WallTimer&) = delete;
+
+ private:
+  double* acc_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace mobicache
+
+#endif  // MOBICACHE_UTIL_WALL_TIMER_H_

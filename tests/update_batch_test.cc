@@ -1,0 +1,433 @@
+// Contracts of the batched interval update kernel (db/update_generator.cc
+// batch mode + Database::ApplyUpdateBatch) and quiet-stretch journal
+// elision (digest-only buckets):
+//
+//  * RNG replay: the batched drain applies the exact (item, time) sequence
+//    the per-event engine dispatches — same seed, same draws, bit-identical
+//    timestamps — for the uniform, Zipf-weighted, and zero-rate profiles,
+//    regardless of where the pump points fall.
+//  * Journal digests: a database whose buckets were laid down digest-only
+//    answers UpdatedIn / CountUpdatedIn exactly like a raw-journal twin,
+//    and a journal-quiescent cell (SIG) produces byte-identical results
+//    with elision on and off while actually eliding buckets.
+//  * Engines: MegaCell at shard counts {1, 4, 8} matches the classic Cell
+//    with batching on, including the applied-update count.
+//  * Allocation-freedom: once the staging buffers exist, the drain loop and
+//    the warm full-cell steady state (pump + elided journal appends)
+//    perform zero heap allocations.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "db/update_generator.h"
+#include "exp/cell.h"
+#include "exp/megacell.h"
+#include "mu/mobile_unit.h"
+#include "sim/simulator.h"
+
+// Counting global operator new, as in quiet_elision_test.cc: the
+// allocation-free contracts are asserted as deltas around measured spans.
+// Atomic because the suite also runs under TSan.
+namespace {
+std::atomic<size_t> g_new_calls{0};
+}  // namespace
+
+// noinline keeps the malloc/free bodies opaque at new/delete expression
+// sites, which would otherwise trip GCC's -Wmismatched-new-delete.
+#if defined(__GNUC__)
+#define MOBICACHE_TEST_NOINLINE __attribute__((noinline))
+#else
+#define MOBICACHE_TEST_NOINLINE
+#endif
+
+MOBICACHE_TEST_NOINLINE void* operator new(std::size_t size) {
+  ++g_new_calls;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+MOBICACHE_TEST_NOINLINE void* operator new[](std::size_t size) {
+  return ::operator new(size);
+}
+MOBICACHE_TEST_NOINLINE void operator delete(void* p) noexcept {
+  std::free(p);
+}
+MOBICACHE_TEST_NOINLINE void operator delete[](void* p) noexcept {
+  std::free(p);
+}
+MOBICACHE_TEST_NOINLINE void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+MOBICACHE_TEST_NOINLINE void operator delete[](void* p, std::size_t) noexcept {
+  std::free(p);
+}
+// stable_sort's temporary buffer (Database::BuildDigest) allocates through
+// the nothrow form and frees through plain operator delete; cover the pair
+// so ASan sees one consistent allocator.
+MOBICACHE_TEST_NOINLINE void* operator new(std::size_t size,
+                                           const std::nothrow_t&) noexcept {
+  ++g_new_calls;
+  return std::malloc(size);
+}
+MOBICACHE_TEST_NOINLINE void* operator new[](std::size_t size,
+                                             const std::nothrow_t&) noexcept {
+  ++g_new_calls;
+  return std::malloc(size);
+}
+MOBICACHE_TEST_NOINLINE void operator delete(void* p,
+                                             const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+MOBICACHE_TEST_NOINLINE void operator delete[](
+    void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace mobicache {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RNG replay: per-event vs batched drain.
+
+struct AppliedUpdate {
+  ItemId id;
+  SimTime at;
+};
+
+constexpr uint64_t kReplayItems = 96;
+constexpr uint64_t kReplaySeed = 20260809;
+constexpr SimTime kReplayEnd = 400.0;
+
+// Runs one generator to kReplayEnd in the given mode and returns the
+// observed (item, time) application sequence. Batched runs drain through a
+// deliberately irregular set of pump points (repeats, both inclusivities,
+// cuts that land between updates) — the sequence must not depend on them.
+std::vector<AppliedUpdate> ReplayUpdates(double uniform_mu,
+                                         const std::vector<double>& rates,
+                                         bool batched) {
+  Simulator sim;
+  Database db(kReplayItems, /*seed=*/7);
+  std::vector<std::unique_ptr<UpdateGenerator>> holder;
+  if (rates.empty()) {
+    holder.push_back(std::make_unique<UpdateGenerator>(&sim, &db, uniform_mu,
+                                                       kReplaySeed));
+  } else {
+    holder.push_back(
+        std::make_unique<UpdateGenerator>(&sim, &db, rates, kReplaySeed));
+  }
+  UpdateGenerator& gen = *holder.back();
+  std::vector<AppliedUpdate> applied;
+  db.AddUpdateObserver([&applied](ItemId id, SimTime t) {
+    applied.push_back(AppliedUpdate{id, t});
+  });
+  if (batched) gen.EnableBatchMode();
+  EXPECT_TRUE(gen.Start().ok());
+  if (batched) {
+    for (SimTime cut : {13.7, 13.7, 40.0, 111.2, 111.2, 250.0}) {
+      gen.GenerateIntervalUpdates(cut, /*inclusive=*/false);
+      gen.GenerateIntervalUpdates(cut, /*inclusive=*/true);
+    }
+    // RunUntil dispatches events with time <= end, so the final drain is
+    // inclusive at the same point.
+    gen.GenerateIntervalUpdates(kReplayEnd, /*inclusive=*/true);
+  } else {
+    sim.RunUntil(kReplayEnd);
+  }
+  gen.Stop();
+  db.ClearExtraObservers();
+  EXPECT_EQ(gen.updates_generated(), applied.size());
+  EXPECT_EQ(db.total_updates(), applied.size());
+  if (batched) {
+    EXPECT_EQ(gen.batched_updates_applied(), applied.size());
+  }
+  return applied;
+}
+
+void ExpectSameReplay(double uniform_mu, const std::vector<double>& rates) {
+  const std::vector<AppliedUpdate> per_event =
+      ReplayUpdates(uniform_mu, rates, /*batched=*/false);
+  const std::vector<AppliedUpdate> batched =
+      ReplayUpdates(uniform_mu, rates, /*batched=*/true);
+  ASSERT_EQ(per_event.size(), batched.size());
+  for (size_t i = 0; i < per_event.size(); ++i) {
+    ASSERT_EQ(per_event[i].id, batched[i].id) << "update " << i;
+    // Bit-exact: the batched path accumulates the same doubles by the same
+    // repeated addition ScheduleAfter performs.
+    ASSERT_EQ(per_event[i].at, batched[i].at) << "update " << i;
+  }
+}
+
+TEST(UpdateBatchReplayTest, UniformProfileMatchesPerEvent) {
+  ExpectSameReplay(/*uniform_mu=*/0.05, {});
+}
+
+TEST(UpdateBatchReplayTest, ZipfProfileMatchesPerEvent) {
+  ExpectSameReplay(0.0, ZipfUpdateRates(kReplayItems, /*mu_mean=*/0.05,
+                                        /*theta=*/0.9));
+}
+
+TEST(UpdateBatchReplayTest, ZeroRateGeneratesNothingInEitherMode) {
+  EXPECT_TRUE(ReplayUpdates(0.0, {}, /*batched=*/false).empty());
+  EXPECT_TRUE(ReplayUpdates(0.0, {}, /*batched=*/true).empty());
+}
+
+TEST(UpdateBatchReplayTest, BothModesLeaveIdenticalDatabaseState) {
+  Database dbs[2] = {Database(kReplayItems, 7), Database(kReplayItems, 7)};
+  for (int batched = 0; batched < 2; ++batched) {
+    Simulator sim;
+    UpdateGenerator gen(&sim, &dbs[batched], 0.08, kReplaySeed);
+    if (batched == 1) gen.EnableBatchMode();
+    ASSERT_TRUE(gen.Start().ok());
+    if (batched == 1) {
+      gen.GenerateIntervalUpdates(kReplayEnd, /*inclusive=*/true);
+    } else {
+      sim.RunUntil(kReplayEnd);
+    }
+    gen.Stop();
+  }
+  for (ItemId id = 0; id < kReplayItems; ++id) {
+    EXPECT_EQ(dbs[0].VersionOf(id), dbs[1].VersionOf(id)) << "item " << id;
+    EXPECT_EQ(dbs[0].LastUpdateOf(id), dbs[1].LastUpdateOf(id))
+        << "item " << id;
+    EXPECT_EQ(dbs[0].ValueOf(id), dbs[1].ValueOf(id)) << "item " << id;
+  }
+  EXPECT_EQ(dbs[0].journal_size(), dbs[1].journal_size());
+}
+
+// ---------------------------------------------------------------------------
+// Digest-only journal buckets: window queries match a raw-journal twin.
+
+TEST(JournalElisionDigestTest, ElidedBucketsAnswerWindowQueriesExactly) {
+  constexpr uint64_t kN = 64;
+  constexpr SimTime kWidth = 10.0;
+  Database raw(kN, /*seed=*/99);
+  Database elided(kN, /*seed=*/99);
+  raw.SetJournalBucketWidth(kWidth);
+  elided.SetJournalBucketWidth(kWidth);
+  elided.EnableJournalElision();
+
+  // Six buckets of a deterministic LCG-derived stream with plenty of
+  // repeated ids (dedup inside elided buckets) and cross-bucket repeats
+  // (the is-still-latest filter). Buckets 1, 2, and 4 are laid down
+  // digest-only in the elided database.
+  uint64_t x = 12345;
+  SimTime t = 0.0;
+  for (int bucket = 0; bucket < 6; ++bucket) {
+    elided.SetJournalElideHint(bucket == 1 || bucket == 2 || bucket == 4);
+    for (int i = 0; i < 40; ++i) {
+      x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      const ItemId id = static_cast<ItemId>((x >> 33) % kN);
+      t = kWidth * static_cast<double>(bucket) +
+          kWidth * (static_cast<double>(i) + 1.0) / 41.0;
+      raw.ApplyUpdate(id, t);
+      elided.ApplyUpdate(id, t);
+    }
+  }
+  EXPECT_EQ(elided.elided_journal_buckets(), 3u);
+  EXPECT_EQ(raw.elided_journal_buckets(), 0u);
+
+  // Windows: bucket-aligned, partial, spanning elided and raw buckets, and
+  // entirely inside an elided bucket.
+  const struct {
+    SimTime lo, hi;
+  } windows[] = {{0.0, 60.0},  {10.0, 30.0}, {12.5, 47.3},
+                 {20.0, 50.0}, {23.1, 28.9}, {40.0, 41.0},
+                 {55.0, 60.0}, {0.0, 10.0}};
+  for (const auto& w : windows) {
+    SCOPED_TRACE("window (" + std::to_string(w.lo) + ", " +
+                 std::to_string(w.hi) + "]");
+    const std::vector<UpdatedItem> expect = raw.UpdatedIn(w.lo, w.hi);
+    const std::vector<UpdatedItem> got = elided.UpdatedIn(w.lo, w.hi);
+    ASSERT_EQ(expect.size(), got.size());
+    for (size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(expect[i].id, got[i].id) << "entry " << i;
+      EXPECT_EQ(expect[i].updated_at, got[i].updated_at) << "entry " << i;
+    }
+    EXPECT_EQ(raw.CountUpdatedIn(w.lo, w.hi),
+              elided.CountUpdatedIn(w.lo, w.hi));
+  }
+  EXPECT_EQ(raw.journal_size(), elided.journal_size());
+}
+
+// ---------------------------------------------------------------------------
+// Cell-level equivalence and engine cross-checks. Helper matchers mirror
+// tests/quiet_elision_test.cc.
+
+void ExpectUnitStatsEqual(const MobileUnitStats& a, const MobileUnitStats& b) {
+  EXPECT_EQ(a.queries_issued, b.queries_issued);
+  EXPECT_EQ(a.queries_answered, b.queries_answered);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.reports_heard, b.reports_heard);
+  EXPECT_EQ(a.reports_missed, b.reports_missed);
+  EXPECT_EQ(a.items_invalidated, b.items_invalidated);
+  EXPECT_EQ(a.listen_seconds, b.listen_seconds);
+  EXPECT_EQ(a.answer_latency.count(), b.answer_latency.count());
+  EXPECT_EQ(a.answer_latency.sum(), b.answer_latency.sum());
+}
+
+// Everything except quiet_skipped_intervals (engine-dependent diagnostic)
+// and sim_events (the sharded engine dispatches extra barrier events).
+void ExpectResultsIdentical(const CellResult& a, const CellResult& b) {
+  EXPECT_EQ(a.queries_answered, b.queries_answered);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.hit_ratio, b.hit_ratio);
+  EXPECT_EQ(a.mean_answer_latency, b.mean_answer_latency);
+  EXPECT_EQ(a.reports_broadcast, b.reports_broadcast);
+  EXPECT_EQ(a.reports_heard, b.reports_heard);
+  EXPECT_EQ(a.reports_missed, b.reports_missed);
+  EXPECT_EQ(a.quiet_report_intervals, b.quiet_report_intervals);
+  EXPECT_EQ(a.avg_report_bits, b.avg_report_bits);
+  EXPECT_EQ(a.measured_sleep_fraction, b.measured_sleep_fraction);
+  EXPECT_EQ(a.items_invalidated, b.items_invalidated);
+  EXPECT_EQ(a.listen_seconds_total, b.listen_seconds_total);
+  EXPECT_EQ(a.updates_applied, b.updates_applied);
+  EXPECT_EQ(a.channel.report_bits, b.channel.report_bits);
+  EXPECT_EQ(a.channel.uplink_query_bits, b.channel.uplink_query_bits);
+  EXPECT_EQ(a.channel.downlink_answer_bits, b.channel.downlink_answer_bits);
+  EXPECT_EQ(a.channel.report_count, b.channel.report_count);
+  EXPECT_EQ(a.channel.uplink_query_count, b.channel.uplink_query_count);
+  EXPECT_EQ(a.channel.downlink_answer_count, b.channel.downlink_answer_count);
+  EXPECT_EQ(a.channel.busy_seconds, b.channel.busy_seconds);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.effectiveness, b.effectiveness);
+}
+
+CellConfig BaseConfig(StrategyKind kind, double s) {
+  CellConfig config;
+  config.model.n = 400;
+  config.model.mu = 0.002;
+  config.model.lambda = 0.05;
+  config.model.s = s;
+  config.model.L = 10.0;
+  config.model.k = 8;
+  config.strategy = kind;
+  config.num_units = 12;
+  config.hotspot_size = 25;
+  config.seed = 4242;
+  return config;
+}
+
+// A journal-quiescent strategy (SIG) must produce byte-identical runs with
+// quiet elision on and off, while the on-run actually arms journal elision
+// and (under heavy sleep) lays down digest-only buckets.
+TEST(JournalElisionCellTest, SigRunsAreByteIdenticalWithElisionOnAndOff) {
+  for (double s : {0.9, 1.0}) {
+    SCOPED_TRACE("s=" + std::to_string(s));
+    CellResult results[2];
+    uint64_t elided_buckets[2] = {0, 0};
+    bool armed[2] = {false, false};
+    for (int on = 0; on < 2; ++on) {
+      CellConfig config = BaseConfig(StrategyKind::kSig, s);
+      config.quiet_elision = on == 1;
+      Cell cell(config);
+      ASSERT_TRUE(cell.Build().ok());
+      ASSERT_TRUE(cell.Run(4, 50).ok());
+      results[on] = cell.result();
+      elided_buckets[on] = cell.db()->elided_journal_buckets();
+      armed[on] = cell.server()->journal_elision_armed();
+    }
+    ExpectResultsIdentical(results[1], results[0]);
+    EXPECT_FALSE(armed[0]);
+    EXPECT_TRUE(armed[1]);
+    EXPECT_EQ(elided_buckets[0], 0u);
+    if (s == 1.0) {
+      // Everyone asleep: every measured interval elides its broadcast, so
+      // the following journal buckets go digest-only.
+      EXPECT_GT(results[1].quiet_skipped_intervals, 0u);
+      EXPECT_GT(elided_buckets[1], 0u);
+    }
+  }
+}
+
+TEST(UpdateBatchEngineTest, MegaCellMatchesCellAcrossShardCounts) {
+  for (StrategyKind kind : {StrategyKind::kTs, StrategyKind::kSig}) {
+    CellConfig config = BaseConfig(kind, 0.9);
+    config.num_units = 16;
+
+    Cell classic(config);
+    ASSERT_TRUE(classic.Build().ok());
+    ASSERT_TRUE(classic.Run(4, 50).ok());
+    const CellResult classic_result = classic.result();
+    EXPECT_GT(classic_result.updates_applied, 0u);
+
+    for (uint32_t shards : {1u, 4u, 8u}) {
+      SCOPED_TRACE(std::string(StrategyName(kind)) + " shards=" +
+                   std::to_string(shards));
+      MegaCellConfig mc;
+      mc.cell = config;
+      mc.num_shards = shards;
+      MegaCell mega(mc);
+      ASSERT_TRUE(mega.Build().ok());
+      ASSERT_TRUE(mega.Run(4, 50).ok());
+
+      const CellResult& m = mega.result();
+      ExpectResultsIdentical(m, classic_result);
+      for (uint64_t i = 0; i < config.num_units; ++i) {
+        SCOPED_TRACE("unit " + std::to_string(i));
+        ExpectUnitStatsEqual(mega.UnitStats(i), classic.units()[i]->stats());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-freedom.
+
+// The drain loop itself: once EnableBatchMode has sized the staging
+// buffers, pumping any number of updates through a journal-less database
+// allocates nothing.
+TEST(UpdateBatchAllocationTest, DrainLoopAllocatesNothing) {
+  Simulator sim;
+  Database db(10000, /*seed=*/3);
+  db.SetJournalEnabled(false);
+  UpdateGenerator gen(&sim, &db, /*mu_per_item=*/0.01, /*seed=*/77);
+  gen.EnableBatchMode();
+  ASSERT_TRUE(gen.Start().ok());
+  gen.GenerateIntervalUpdates(50.0, /*inclusive=*/false);  // warm
+
+  const size_t before = g_new_calls.load();
+  for (int i = 1; i <= 40; ++i) {
+    gen.GenerateIntervalUpdates(50.0 + 10.0 * static_cast<double>(i),
+                                /*inclusive=*/false);
+  }
+  EXPECT_EQ(g_new_calls.load() - before, 0u) << "batched drain allocated";
+  EXPECT_GT(gen.batched_updates_applied(), 10000u);
+}
+
+// Full-cell steady state: with every unit asleep under SIG, the measured
+// span covers elided broadcasts, batched pumps, and digest-only journal
+// appends — none of which may allocate once warm.
+TEST(UpdateBatchAllocationTest, WarmElidedCellSteadyStateAllocatesNothing) {
+  CellConfig config = BaseConfig(StrategyKind::kSig, 1.0);
+  config.model.lambda = 0.0;
+  config.num_units = 8;
+  Cell cell(config);
+  ASSERT_TRUE(cell.Build().ok());
+  ASSERT_TRUE(cell.updates()->batch_mode());
+  ASSERT_TRUE(cell.updates()->Start().ok());
+  for (MobileUnit* unit : cell.units()) {
+    ASSERT_TRUE(unit->Start().ok());
+  }
+  ASSERT_TRUE(cell.server()->Start().ok());
+  const double L = cell.config().model.L;
+  cell.sim()->RunUntil(L * 60.0 + 0.5 * L);
+
+  const size_t before = g_new_calls.load();
+  cell.sim()->RunUntil(L * 110.0 + 0.5 * L);
+  EXPECT_EQ(g_new_calls.load() - before, 0u)
+      << "warm batched steady state allocated";
+  EXPECT_GT(cell.server()->stats().quiet_skipped_intervals, 0u);
+  EXPECT_GT(cell.updates()->batched_updates_applied(), 0u);
+  EXPECT_GT(cell.db()->elided_journal_buckets(), 0u);
+}
+
+}  // namespace
+}  // namespace mobicache

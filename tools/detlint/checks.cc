@@ -48,7 +48,9 @@ constexpr std::array kAllocCallees = {
 
 /// alloc-event-path: per-interval hot-path function bodies that must stay
 /// allocation-free in the steady state — the broadcast build/deliver path,
-/// the awake-set fan-out, and the report arena. A sanctioned cold-path
+/// the awake-set fan-out, the report arena, and the batched update
+/// drain (generator stream loop + database batch apply). A sanctioned
+/// cold-path
 /// allocation (arena growth) carries an explicit detlint:allow.
 struct HotPathFunction {
   const char* file;
@@ -59,6 +61,12 @@ constexpr std::array kAllocFreeHotPaths = {
     HotPathFunction{"src/server/server.cc", "Deliver"},
     HotPathFunction{"src/server/server.cc", "FanOutReport"},
     HotPathFunction{"src/server/server.cc", "AcquireReportSlot"},
+    // The batched update drain: the generator's stream loop and the
+    // database's batch apply run a few hundred million times per bench,
+    // writing through raw staging/slab cursors — any allocation here is a
+    // regression.
+    HotPathFunction{"src/db/update_generator.cc", "GenerateIntervalUpdates"},
+    HotPathFunction{"src/db/database.cc", "ApplyUpdateBatch"},
 };
 
 /// wall-clock: identifiers that are non-deterministic by construction and

@@ -14,7 +14,10 @@
 //                           container calls) — the event loop's EventFn slots
 //                           are allocation-free by contract. (The 48-byte
 //                           capture budget itself is enforced at compile time
-//                           by EventFn's static_assert.)
+//                           by EventFn's static_assert.) The same scan covers
+//                           the per-interval hot-path function bodies in
+//                           kAllocFreeHotPaths (broadcast/fan-out/arena and
+//                           the batched update drain).
 //   unordered-output        no range-for over unordered_{map,set} inside the
 //                           report-building/stats/CSV paths; hash order is
 //                           not part of the byte-identity contract.

@@ -1,0 +1,26 @@
+// Fixture: alloc-event-path, batched-update hot-path bodies. The update
+// generator's stream drain and the database's batch apply
+// (kAllocFreeHotPaths) run once per update — hundreds of millions of times
+// per bench — and write through raw staging/slab cursors; reintroducing a
+// growing-container call or a `new` in either body must be flagged. The
+// same calls in a cold-path member (EnableBatchMode's staging-buffer
+// sizing) are legal.
+// detlint:pretend(src/db/update_generator.cc)
+
+#include <vector>
+
+namespace mobicache {
+
+void UpdateGenerator::GenerateIntervalUpdates(SimTime through,
+                                              bool inclusive) {
+  batch_ids_.push_back(next_item_);  // detlint:expect(alloc-event-path)
+  (void)through;
+  (void)inclusive;
+}
+
+void UpdateGenerator::EnableBatchMode() {
+  batch_ids_.resize(1024);  // cold path, outside the drain loop: legal
+  batch_times_.resize(1024);
+}
+
+}  // namespace mobicache
