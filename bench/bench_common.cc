@@ -13,6 +13,7 @@
 #include <string>
 
 #include "bench_json.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 // Counting global allocator: every bench linking bench_common reports its
@@ -206,16 +207,37 @@ int RunFigureBench(PaperScenario scenario,
                   : 0.0);
   double update_seconds = 0.0;
   uint64_t updates_applied = 0;
+  uint64_t journal_peak = 0;
+  uint64_t retention_cells[3] = {0, 0, 0};  // none, digest, full
   for (const SweepResult::CellTiming& t : result->cell_timings) {
     update_seconds += t.update_seconds;
     updates_applied += t.updates_applied;
+    journal_peak += t.journal_bytes_peak;
+    if (std::strcmp(t.retention_class, "none") == 0) {
+      ++retention_cells[0];
+    } else if (std::strcmp(t.retention_class, "digest") == 0) {
+      ++retention_cells[1];
+    } else {
+      ++retention_cells[2];
+    }
   }
   if (updates_applied > 0) {
-    std::printf("updates %llu  (%.3fs batched drain, %.1f%% of wall)\n",
+    std::printf("updates %llu  (%.3fs batched drain, %.1f%% of wall)  "
+                "kernel %s\n",
                 static_cast<unsigned long long>(updates_applied),
                 update_seconds,
                 wall_seconds > 0.0 ? 100.0 * update_seconds / wall_seconds
-                                   : 0.0);
+                                   : 0.0,
+                simd::ActiveKernelName());
+  }
+  if (!result->cell_timings.empty()) {
+    std::printf(
+        "journal peak %.2f MB summed over cells  "
+        "(retention: %llu full, %llu digest, %llu none)\n",
+        static_cast<double>(journal_peak) / (1024.0 * 1024.0),
+        static_cast<unsigned long long>(retention_cells[2]),
+        static_cast<unsigned long long>(retention_cells[1]),
+        static_cast<unsigned long long>(retention_cells[0]));
   }
   if (!csv_path.empty()) {
     std::ofstream csv(csv_path);

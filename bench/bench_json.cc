@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace mobicache {
@@ -76,6 +77,7 @@ BenchRecord MakeBenchRecord(const std::string& name,
   record.seed = options.seed;
   record.simulate = options.simulate;
   record.shards = options.shards;
+  record.simd_kernel = simd::ActiveKernelName();
   record.breakdown.reserve(result.cell_timings.size());
   for (const SweepResult::CellTiming& t : result.cell_timings) {
     BenchRecord::Breakdown b;
@@ -87,12 +89,15 @@ BenchRecord MakeBenchRecord(const std::string& name,
     b.replay_records = t.replay_records;
     b.update_seconds = t.update_seconds;
     b.updates_applied = t.updates_applied;
+    b.retention_class = t.retention_class;
+    b.journal_bytes_peak = t.journal_bytes_peak;
     record.server_seconds += t.server_seconds;
     record.shard_seconds += t.shard_seconds;
     record.replay_seconds += t.replay_seconds;
     record.replay_records += t.replay_records;
     record.update_seconds += t.update_seconds;
     record.updates_applied += t.updates_applied;
+    record.journal_bytes_peak += t.journal_bytes_peak;
     record.breakdown.push_back(std::move(b));
   }
   return record;
@@ -122,12 +127,15 @@ std::string BenchRecordToJson(const BenchRecord& r) {
   os << ",\n  \"seed\": " << r.seed;
   os << ",\n  \"simulate\": " << (r.simulate ? "true" : "false");
   os << ",\n  \"shards\": " << r.shards;
+  os << ",\n  \"simd_kernel\": ";
+  AppendEscaped(r.simd_kernel, os);
   os << ",\n  \"server_seconds\": " << Num(r.server_seconds);
   os << ",\n  \"shard_seconds\": " << Num(r.shard_seconds);
   os << ",\n  \"replay_seconds\": " << Num(r.replay_seconds);
   os << ",\n  \"replay_records\": " << r.replay_records;
   os << ",\n  \"update_seconds\": " << Num(r.update_seconds);
   os << ",\n  \"updates_applied\": " << r.updates_applied;
+  os << ",\n  \"journal_bytes_peak\": " << r.journal_bytes_peak;
   os << ",\n  \"breakdown\": [";
   for (size_t i = 0; i < r.breakdown.size(); ++i) {
     const BenchRecord::Breakdown& b = r.breakdown[i];
@@ -139,7 +147,10 @@ std::string BenchRecordToJson(const BenchRecord& r) {
     os << ", \"replay_seconds\": " << Num(b.replay_seconds);
     os << ", \"replay_records\": " << b.replay_records;
     os << ", \"update_seconds\": " << Num(b.update_seconds);
-    os << ", \"updates_applied\": " << b.updates_applied << "}";
+    os << ", \"updates_applied\": " << b.updates_applied;
+    os << ", \"retention_class\": ";
+    AppendEscaped(b.retention_class, os);
+    os << ", \"journal_bytes_peak\": " << b.journal_bytes_peak << "}";
   }
   os << (r.breakdown.empty() ? "]" : "\n  ]");
   os << "\n}\n";

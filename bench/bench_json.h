@@ -50,6 +50,9 @@ struct BenchRecord {
   bool simulate = true;
   /// Intra-cell shards per simulated cell (SweepOptions::shards).
   int shards = 1;
+  /// Batched-apply kernel the SIMD dispatcher resolved for this process
+  /// ("scalar", "sse2", "avx2"); CI asserts it under MOBICACHE_SIMD.
+  std::string simd_kernel;
 
   // Per-phase wall shares, summed across the simulated cells (see
   // exp/megacell.h for the phase definitions): the serial server phases,
@@ -67,6 +70,10 @@ struct BenchRecord {
   /// applied to the cells' databases (either delivery mode).
   double update_seconds = 0.0;
   uint64_t updates_applied = 0;
+  /// Sum of the per-cell journal byte high-water marks — an upper bound on
+  /// the sweep's aggregate journal footprint had every cell peaked at once.
+  /// Per-cell peaks and retention classes live in the breakdown entries.
+  uint64_t journal_bytes_peak = 0;
 
   /// Optional wall-time breakdown: one labelled timing per simulated cell
   /// (sweep benches label by "<strategy>@x=<point>") or per shard/phase
@@ -82,6 +89,10 @@ struct BenchRecord {
     uint64_t replay_records = 0;
     double update_seconds = 0.0;
     uint64_t updates_applied = 0;
+    /// Journal retention class the cell's strategy armed ("none", "digest",
+    /// "full") and the journal's byte high-water mark over the cell's run.
+    std::string retention_class = "full";
+    uint64_t journal_bytes_peak = 0;
   };
   std::vector<Breakdown> breakdown;
 };

@@ -39,6 +39,11 @@ class HybridSigServerStrategy : public ServerStrategy {
   /// per-item slab timestamps — never a journal window — so quiet-stretch
   /// buckets may stay digest-only.
   bool JournalQuiescentWithFeed() const override { return true; }
+  /// No hybrid code path reads raw journal entries (JournalIn / VersionAt),
+  /// so every bucket may hold just the per-interval digest.
+  JournalRetention retention() const override {
+    return JournalRetention::kDigestOnly;
+  }
 
   const std::vector<ItemId>& hot_set() const { return hot_set_; }
 

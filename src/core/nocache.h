@@ -9,10 +9,17 @@
 
 namespace mobicache {
 
-/// Server half of the no-caching baseline: empty reports.
+/// Server half of the no-caching baseline: empty reports. Also serves the
+/// ideal/stateful/async baselines (their invalidation flows bypass the
+/// report machinery), which is why the retention class is per-instance: the
+/// no-caching cell declares kNone (its update stream is never read back),
+/// while the stateful-family cells keep the default full journal so tests
+/// can audit answers against historical ground truth (ValueAt).
 class NullServerStrategy : public ServerStrategy {
  public:
-  NullServerStrategy() = default;
+  explicit NullServerStrategy(
+      JournalRetention retention = JournalRetention::kFullWindow)
+      : retention_(retention) {}
 
   StrategyKind kind() const override { return StrategyKind::kNoCache; }
   Report BuildReport(SimTime now, uint64_t interval) override {
@@ -39,7 +46,11 @@ class NullServerStrategy : public ServerStrategy {
   Report MaterializeQuiet(SimTime now, uint64_t interval) override {
     return BuildReport(now, interval);
   }
+  JournalRetention retention() const override { return retention_; }
   SimTime JournalHorizonSeconds() const override { return 0.0; }
+
+ private:
+  JournalRetention retention_;
 };
 
 /// Client half: refuses to cache (uplink fetches are dropped on the floor).

@@ -36,6 +36,12 @@ class SigServerStrategy : public ServerStrategy {
   /// With the feed attached, FoldChangesThrough reads only the dirty set —
   /// never a journal window — so quiet-stretch buckets may stay digest-only.
   bool JournalQuiescentWithFeed() const override { return true; }
+  /// Stronger still: no SIG code path ever reads raw journal entries
+  /// (JournalIn / VersionAt), so *every* bucket may hold just the
+  /// per-interval digest.
+  JournalRetention retention() const override {
+    return JournalRetention::kDigestOnly;
+  }
 
  private:
   /// Folds every item changed since the last snapshot into the combined

@@ -127,6 +127,19 @@ class ServerStrategy {
   /// TS/AT-family strategies rebuild reports from journal windows.
   virtual bool JournalQuiescentWithFeed() const { return false; }
 
+  /// The journal retention class this strategy requires of the server's
+  /// database (see JournalRetention). Server::Start arms the database with
+  /// this declaration — replacing per-call-site journal toggles scattered
+  /// through the cell drivers — possibly raised by an instrumentation floor
+  /// (Server::SetRetentionFloor). kNone strategies never read update
+  /// history at all; kDigestOnly strategies consume updates exclusively
+  /// through the attached feed and window queries that per-interval digests
+  /// can serve exactly; the kFullWindow default keeps raw entries over the
+  /// report window.
+  virtual JournalRetention retention() const {
+    return JournalRetention::kFullWindow;
+  }
+
   /// How far back the database journal must reach for this strategy's
   /// reports (w for TS, L for AT, ...). The cell prunes beyond this.
   virtual SimTime JournalHorizonSeconds() const = 0;

@@ -7,10 +7,22 @@
 #include <utility>
 
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace mobicache {
 
 namespace {
+
+/// Primary storage cost of one raw journal entry: a SimTime and an ItemId in
+/// the bucket's parallel SoA arrays.
+constexpr uint64_t kRawEntryBytes = sizeof(SimTime) + sizeof(ItemId);
+
+/// Primary storage cost of one elided digest entry: the UpdatedItem plus the
+/// recorded slab version (digest_versions slot). Counted for the entry's
+/// lifetime even after a lazy sort drops the versions — the summary's
+/// retained footprint, not the transient vector sizes, is what the
+/// journal_bytes_peak diagnostic reports.
+constexpr uint64_t kDigestEntryBytes = sizeof(UpdatedItem) + sizeof(uint64_t);
 
 /// Lines of slack the digest walk prefetches ahead of the filter cursor —
 /// far enough to cover a memory round-trip at 4 digest entries per step,
@@ -41,6 +53,18 @@ bool ByItemId(const UpdatedItem& a, const UpdatedItem& b) {
 }
 
 }  // namespace
+
+const char* JournalRetentionName(JournalRetention retention) {
+  switch (retention) {
+    case JournalRetention::kNone:
+      return "none";
+    case JournalRetention::kDigestOnly:
+      return "digest";
+    case JournalRetention::kFullWindow:
+      return "full";
+  }
+  return "full";
+}
 
 uint64_t SyntheticValue(uint64_t seed, ItemId id, uint64_t version) {
   uint64_t state = seed ^ (0x9E3779B97F4A7C15ULL * (id + 1)) ^
@@ -168,6 +192,7 @@ void Database::AppendJournal(ItemId id, SimTime now, uint64_t version) {
   }
   tail.times.push_back(now);
   tail.ids.push_back(id);
+  journal_bytes_ += kRawEntryBytes;
   append_times_cursor_ = tail.times.data() + tail.times.size();
   append_ids_cursor_ = tail.ids.data() + tail.ids.size();
 }
@@ -194,6 +219,7 @@ void Database::AppendJournalElided(ItemId id, SimTime now, uint64_t version) {
   mark = (elide_epoch_ << 32) | static_cast<uint32_t>(tail.digest.size());
   tail.digest.push_back(UpdatedItem{id, now});
   tail.digest_versions.push_back(version);
+  journal_bytes_ += kDigestEntryBytes;
 }
 
 void Database::ApplyUpdate(ItemId id, SimTime now) {
@@ -211,26 +237,82 @@ void Database::ApplyUpdateBatch(const ItemId* ids, const SimTime* times,
                                 size_t count) {
   assert(count > 0);
   assert(journal_entries_ == 0 || times[0] >= JournalTailTime());
-  const bool journal = journal_enabled_;
+#ifndef NDEBUG
+  // The specialized walks below assume the batch contract wholesale; check
+  // it up front so the hot loops stay assertion-free in debug builds too.
+  for (size_t i = 0; i < count; ++i) {
+    assert(ids[i] < n_);
+    assert(i == 0 || times[i] >= times[i - 1]);
+  }
+#endif
   const bool observed = single_observer_ != nullptr || multi_observers_;
+  if (!observed) {
+    if (journal_enabled_) {
+      ApplyBatchJournal(ids, times, count);
+    } else {
+      ApplyBatchSlabOnly(ids, times, count);
+    }
+  } else {
+    for (size_t i = 0; i < count; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+      if (i + kBatchPrefetchDistance < count) {
+        __builtin_prefetch(&hot_[ids[i + kBatchPrefetchDistance]], /*rw=*/1,
+                           /*locality=*/1);
+      }
+#endif
+      const ItemId id = ids[i];
+      const SimTime now = times[i];
+      HotItem& item = hot_[id];
+      ++item.version;
+      item.last_update = now;
+      if (journal_enabled_) AppendJournal(id, now, item.version);
+      DispatchUpdateObservers(id, now);
+    }
+  }
+  total_updates_ += count;
+}
+
+void Database::ApplyBatchSlabOnly(const ItemId* ids, const SimTime* times,
+                                  size_t count) {
+  // Layout-compatible with the SIMD kernel's record view; the kernel's
+  // effect (version += 1, time bit-copied, in staging order) is exactly this
+  // path's whole per-entry work.
+  static_assert(sizeof(HotItem) == sizeof(simd::Record16) &&
+                    offsetof(HotItem, version) ==
+                        offsetof(simd::Record16, version) &&
+                    offsetof(HotItem, last_update) ==
+                        offsetof(simd::Record16, time),
+                "hot record and SIMD record view must share a layout");
+  simd::ApplyVersionTimestamp(reinterpret_cast<simd::Record16*>(hot_), ids,
+                              times, count);
+}
+
+void Database::ApplyBatchJournal(const ItemId* ids, const SimTime* times,
+                                 size_t count) {
+  // Whether appends in this chunk can hit the elided dedup probe: the open
+  // tail bucket elides, or the hint will make the next one elide. Either
+  // way the probe reads elide_marks_[id] — a second random line per entry —
+  // so prefetch it alongside the slab line for the same future entry.
+  const bool marks =
+      !elide_marks_.empty() &&
+      (elide_hint_ || (!buckets_.empty() && buckets_.back().digest_only));
   for (size_t i = 0; i < count; ++i) {
 #if defined(__GNUC__) || defined(__clang__)
     if (i + kBatchPrefetchDistance < count) {
-      __builtin_prefetch(&hot_[ids[i + kBatchPrefetchDistance]], /*rw=*/1,
-                         /*locality=*/1);
+      const ItemId ahead = ids[i + kBatchPrefetchDistance];
+      __builtin_prefetch(&hot_[ahead], /*rw=*/1, /*locality=*/1);
+      if (marks) {
+        __builtin_prefetch(&elide_marks_[ahead], /*rw=*/1, /*locality=*/1);
+      }
     }
 #endif
     const ItemId id = ids[i];
     const SimTime now = times[i];
-    assert(id < n_);
-    assert(i == 0 || now >= times[i - 1]);
     HotItem& item = hot_[id];
     ++item.version;
     item.last_update = now;
-    if (journal) AppendJournal(id, now, item.version);
-    if (observed) DispatchUpdateObservers(id, now);
+    AppendJournal(id, now, item.version);
   }
-  total_updates_ += count;
 }
 
 void Database::EnableJournalElision() {
@@ -272,8 +354,27 @@ void Database::SetJournalEnabled(bool enabled) {
     buckets_.clear();
     spare_buckets_.clear();
     journal_entries_ = 0;
+    SyncJournalBytesPeak();
+    journal_bytes_ = 0;
     append_times_cursor_ = nullptr;
     append_ids_cursor_ = nullptr;
+  }
+}
+
+void Database::SetRetention(JournalRetention retention) {
+  retention_ = retention;
+  switch (retention) {
+    case JournalRetention::kNone:
+      SetJournalEnabled(false);
+      break;
+    case JournalRetention::kDigestOnly:
+      SetJournalEnabled(true);
+      EnableJournalElision();
+      SetJournalElideHint(true);  // pinned on by retention_ (see the header)
+      break;
+    case JournalRetention::kFullWindow:
+      SetJournalEnabled(true);
+      break;
   }
 }
 
@@ -297,6 +398,8 @@ void Database::SetJournalBucketWidth(SimTime width) {
   bucket_width_ = width;
   buckets_.clear();
   journal_entries_ = 0;
+  // Entries survive re-bucketing; the replay below re-adds their bytes.
+  journal_bytes_ = 0;
   for (size_t i = 0; i < all_times.size(); ++i) {
     // Version 0 is fine: raw buckets ignore it, and re-bucketing precedes
     // any elision (asserted above).
@@ -468,9 +571,14 @@ uint64_t Database::ValueAt(ItemId id, SimTime t) const {
 }
 
 void Database::PruneJournalBefore(SimTime horizon) {
+  SyncJournalBytesPeak();
   while (!buckets_.empty() && buckets_.front().HasEntries() &&
          buckets_.front().LastTime() <= horizon) {
-    journal_entries_ -= buckets_.front().EntryCount();
+    const Bucket& front = buckets_.front();
+    journal_entries_ -= front.EntryCount();
+    journal_bytes_ -= front.digest_only
+                          ? kDigestEntryBytes * front.digest.size()
+                          : kRawEntryBytes * front.times.size();
     RecycleBucket(&buckets_.front());
     buckets_.pop_front();
   }
@@ -485,6 +593,7 @@ void Database::PruneJournalBefore(SimTime horizon) {
   Bucket& front = buckets_.front();
   const size_t keep = FirstAfter(front.times, horizon);
   journal_entries_ -= keep;
+  journal_bytes_ -= kRawEntryBytes * keep;
   front.times.erase(front.times.begin(),
                     front.times.begin() + static_cast<ptrdiff_t>(keep));
   front.ids.erase(front.ids.begin(),

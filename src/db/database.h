@@ -73,6 +73,30 @@ struct UpdatedItem {
   SimTime updated_at = 0.0;
 };
 
+/// How much update history the database must retain for the strategy it
+/// serves. Strategies declare their class (ServerStrategy::retention) and
+/// Server::Start arms the database accordingly, replacing the old
+/// per-call-site SetJournalEnabled/EnableJournalElision guesswork:
+///
+///  * kNone        — no journal at all. The strategy never issues a window
+///                   query (no-caching); every journal append would be pure
+///                   overhead on the hottest path.
+///  * kDigestOnly  — per-interval digests only, no raw entries. The strategy
+///                   consumes updates through an attached feed and never
+///                   reads JournalIn/VersionAt (SIG, hybrid), so buckets can
+///                   stay in the elided representation permanently.
+///  * kFullWindow  — raw entries over the report window (TS, AT, grouped,
+///                   adaptive). The default; quiet-stretch elision still
+///                   applies where the server proves it safe.
+enum class JournalRetention : uint8_t {
+  kNone,
+  kDigestOnly,
+  kFullWindow,
+};
+
+/// Short name for bench/JSON output ("none", "digest", "full").
+const char* JournalRetentionName(JournalRetention retention);
+
 /// The replicated database held by the stationary server. Single-writer (the
 /// server applies all updates, per the paper's §2 assumption).
 class Database {
@@ -137,6 +161,18 @@ class Database {
 #endif
   }
 
+  /// Long-range variant of PrefetchItem for callers that know an id a whole
+  /// lookahead block (~hundreds of updates) before it is applied: request
+  /// the slab line into the outer levels (T1 hint) without competing for L1
+  /// the way the short-range apply-loop prefetch does.
+  void PrefetchItemFar(ItemId id) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&hot_[id], /*rw=*/1, /*locality=*/2);
+#else
+    (void)id;
+#endif
+  }
+
   /// Items whose *last* update falls in (lo, hi], each reported once with
   /// its latest update time, in increasing id order. This is exactly the
   /// report-list definition used by TS (Eq. 1) and AT (Eq. 2).
@@ -174,6 +210,24 @@ class Database {
   uint64_t total_updates() const { return total_updates_; }
   size_t journal_size() const { return journal_entries_; }
 
+  /// Arms the retention class the strategy declared (see JournalRetention):
+  /// kNone disables the journal, kDigestOnly arms elision and forces the
+  /// elide hint permanently on, kFullWindow keeps the default raw-bucket
+  /// journal (quiet-stretch elision may still be armed separately). Call
+  /// before any updates flow; the server wires it in Start().
+  void SetRetention(JournalRetention retention);
+  JournalRetention retention() const { return retention_; }
+
+  /// Primary journal storage held right now / at its high-water mark over
+  /// the run, in bytes: 12 per raw entry (time + id), 24 per digest entry
+  /// (UpdatedItem + recorded version) in elided buckets. Derived digests of
+  /// raw buckets are query caches, not retention, and are excluded.
+  uint64_t journal_bytes() const { return journal_bytes_; }
+  uint64_t journal_bytes_peak() const {
+    return journal_bytes_ > journal_bytes_peak_ ? journal_bytes_
+                                                : journal_bytes_peak_;
+  }
+
   /// Sets the bucket width (normally the broadcast latency L; 0 keeps the
   /// whole journal in one bucket). Existing entries are re-bucketed, so this
   /// may be called at any time; the server wires it before starting the
@@ -201,8 +255,12 @@ class Database {
   /// appends store the digest-only summary instead of raw entries. The
   /// server toggles this per interval: on after an elided quiet broadcast,
   /// off otherwise. Takes effect at the next bucket boundary; an already
-  /// open bucket keeps its representation.
-  void SetJournalElideHint(bool elide) { elide_hint_ = elide; }
+  /// open bucket keeps its representation. Under kDigestOnly retention the
+  /// hint is pinned on — the strategy declared it never reads raw entries,
+  /// so every bucket elides regardless of the per-interval toggle.
+  void SetJournalElideHint(bool elide) {
+    elide_hint_ = elide || retention_ == JournalRetention::kDigestOnly;
+  }
   bool journal_elide_hint() const { return elide_hint_; }
 
   /// Journal buckets stored digest-only since construction (diagnostic).
@@ -354,6 +412,14 @@ class Database {
   /// Id-sorts an elided bucket's digest on its first query (the lazy
   /// equivalent of BuildDigest; drops the no-longer-aligned versions).
   static void SortElidedDigest(const Bucket& bucket);
+  /// ApplyUpdateBatch specializations: the slab-only walk hands the whole
+  /// chunk to the SIMD kernel (no per-entry journal/observer work exists);
+  /// the journal walk prefetches the slab line and — when the tail bucket
+  /// elides — the dedup-mark line for the same future entry.
+  void ApplyBatchSlabOnly(const ItemId* ids, const SimTime* times,
+                          size_t count);
+  void ApplyBatchJournal(const ItemId* ids, const SimTime* times,
+                         size_t count);
   /// Appends a fresh bucket with `index`, reusing recycled storage when
   /// available and reserving `reserve_hint` entries.
   void PushBucket(int64_t index, size_t reserve_hint);
@@ -361,6 +427,16 @@ class Database {
   void RecycleBucket(Bucket* bucket);
   static void BuildDigest(const Bucket& bucket);
   void RebuildObserverFastPath();
+
+  /// Folds the current byte count into the peak watermark. Bytes grow
+  /// monotonically between prunes, so calling this right before any
+  /// decrement (prune, disable) keeps the stored peak exact without a
+  /// compare on every append.
+  void SyncJournalBytesPeak() {
+    if (journal_bytes_ > journal_bytes_peak_) {
+      journal_bytes_peak_ = journal_bytes_;
+    }
+  }
 
   uint64_t n_ = 0;
   HotItem* hot_ = nullptr;  ///< 64-byte-aligned slab of n_ records.
@@ -371,7 +447,11 @@ class Database {
   const ItemId* append_ids_cursor_ = nullptr;
   std::vector<Bucket> spare_buckets_;  ///< Recycled storage (bounded).
   size_t journal_entries_ = 0;
+  /// Primary journal bytes held now / at peak (see journal_bytes_peak()).
+  uint64_t journal_bytes_ = 0;
+  uint64_t journal_bytes_peak_ = 0;
   SimTime bucket_width_ = 0.0;
+  JournalRetention retention_ = JournalRetention::kFullWindow;
   bool journal_enabled_ = true;
   bool elide_hint_ = false;
   uint64_t elided_buckets_ = 0;

@@ -44,8 +44,14 @@ void UpdateGenerator::EnableBatchMode() {
   assert(!active_ && "switch modes before Start()");
   if (batch_mode_) return;
   batch_mode_ = true;
-  batch_ids_.resize(kBatchChunk);
-  batch_times_.resize(kBatchChunk);
+  if (rates_.empty()) {
+    look_raw_.resize(kLookahead);
+    look_time_.resize(kLookahead);
+    look_item_.resize(kLookahead);
+  } else {
+    batch_ids_.resize(kBatchChunk);
+    batch_times_.resize(kBatchChunk);
+  }
 }
 
 Status UpdateGenerator::Start() {
@@ -93,6 +99,15 @@ void UpdateGenerator::PrimeBatch() {
   next_item_ = SampleItem();
   db_->PrefetchItem(next_item_);
   next_time_ = sim_->Now() + gap;
+  if (rates_.empty()) {
+    // Seed the lookahead queue with the pending pair so the drain loop's
+    // invariant (the queue head *is* the pending update) holds from the
+    // first pump.
+    look_item_[0] = next_item_;
+    look_time_[0] = next_time_;
+    look_pos_ = 0;
+    look_len_ = 1;
+  }
 }
 
 void UpdateGenerator::Fire() {
@@ -107,10 +122,82 @@ void UpdateGenerator::Fire() {
   ++updates_generated_;
 }
 
+void UpdateGenerator::RefillLookahead() {
+  // Only called with the queue fully consumed; the last decoded time (the
+  // just-applied tail) anchors the new block's accumulation chain.
+  assert(look_pos_ == look_len_ && look_len_ >= 1);
+  Rng rng = rng_;  // draw through a register-resident copy
+  uint64_t* const raw = look_raw_.data();
+  ItemId* const items = look_item_.data();
+  const uint64_t n = db_->size();
+  // Pass 1: raw draws in stream order — gap bits, then item bits, one pair
+  // per future update. NextUint64's rare rejection redraws stay inside the
+  // pair, exactly where the on-demand order has them.
+  for (size_t j = 0; j < kLookahead; ++j) {
+    raw[j] = rng.NextBits();
+    items[j] = static_cast<ItemId>(rng.NextUint64(n));
+    // The slab line this item will dirty is known a whole block before the
+    // apply loop reaches it — enough lead time for a far (T1-hint)
+    // prefetch to land without evicting the apply loop's L1 working set.
+    db_->PrefetchItemFar(items[j]);
+  }
+  rng_ = rng;
+  // Pass 2: decode the gaps and accumulate absolute event times. Identical
+  // arithmetic to Exponential(rate) on the same bits — u = 1 -
+  // (bits>>11)*2^-53, gap = -log(u)/rate — and the same repeated `+= gap`
+  // addition chain ScheduleAfter performs, so every decoded time is
+  // bit-identical to an on-demand draw; the log calls still pipeline
+  // back-to-back (each accumulate only waits on its own log result).
+  double* const times = look_time_.data();
+  const double rate = total_rate_;
+  double t = times[look_len_ - 1];
+  for (size_t j = 0; j < kLookahead; ++j) {
+    const double u = 1.0 - static_cast<double>(raw[j] >> 11) * 0x1.0p-53;
+    t += -std::log(u) / rate;
+    times[j] = t;
+  }
+  look_pos_ = 0;
+  look_len_ = kLookahead;
+}
+
 void UpdateGenerator::GenerateIntervalUpdates(SimTime through, bool inclusive) {
   if (!batch_mode_ || !active_ || total_rate_ <= 0.0) return;
   if (inclusive ? next_time_ > through : next_time_ >= through) return;
   WallTimer timer(&update_wall_seconds_);
+  if (!rates_.empty()) {
+    GenerateIntervalUpdatesWeighted(through, inclusive);
+    return;
+  }
+  // The queue [look_pos_, look_len_) is drawn-but-unapplied with absolute
+  // times; each due run feeds ApplyUpdateBatch directly from the lookahead
+  // arrays — the former staging copy is gone.
+  for (;;) {
+    const double* const times = look_time_.data();
+    size_t end = look_pos_;
+    while (end < look_len_ &&
+           (inclusive ? times[end] <= through : times[end] < through)) {
+      ++end;
+    }
+    if (end > look_pos_) {
+      const size_t count = end - look_pos_;
+      db_->ApplyUpdateBatch(look_item_.data() + look_pos_, times + look_pos_,
+                            count);
+      updates_generated_ += count;
+      batched_applied_ += count;
+      look_pos_ = end;
+    }
+    if (look_pos_ < look_len_) break;  // head exists and is not due
+    RefillLookahead();
+  }
+  next_item_ = look_item_[look_pos_];
+  next_time_ = look_time_[look_pos_];
+  // The pending pair outlives the pump; give its slab line the span until
+  // the next pump point to arrive, like the per-event one-ahead prefetch.
+  db_->PrefetchItem(next_item_);
+}
+
+void UpdateGenerator::GenerateIntervalUpdatesWeighted(SimTime through,
+                                                      bool inclusive) {
   ItemId* const ids = batch_ids_.data();
   SimTime* const times = batch_times_.data();
   size_t count = 0;
@@ -118,10 +205,6 @@ void UpdateGenerator::GenerateIntervalUpdates(SimTime through, bool inclusive) {
     ids[count] = next_item_;
     times[count] = next_time_;
     ++count;
-    // Same per-cycle draw order as the per-event path — gap, then item —
-    // drawn one update ahead of its application. `next_time_ += gap`
-    // reproduces ScheduleAfter's event times exactly: both accumulate the
-    // same doubles by repeated addition from the Start() time.
     next_time_ += rng_.Exponential(total_rate_);
     next_item_ = SampleItem();
     const bool due = inclusive ? next_time_ <= through : next_time_ < through;
@@ -133,8 +216,6 @@ void UpdateGenerator::GenerateIntervalUpdates(SimTime through, bool inclusive) {
       if (!due) break;
     }
   }
-  // The pending pair outlives the pump; give its slab line the span until
-  // the next pump point to arrive, like the per-event one-ahead prefetch.
   db_->PrefetchItem(next_item_);
 }
 

@@ -99,12 +99,26 @@ class UpdateGenerator {
   double update_wall_seconds() const { return update_wall_seconds_; }
 
  private:
+  /// Future (gap, item) pairs decoded ahead of consumption in the uniform
+  /// profile's drain loop (see RefillLookahead).
+  static constexpr size_t kLookahead = 512;
+
   void ScheduleNext();
   void Fire();
   ItemId SampleItem();
   /// Draws the first (gap, item) pair in batch mode — same draws as
   /// ScheduleNext, minus the scheduled event.
   void PrimeBatch();
+  /// Refills the decoded lookahead: one block of raw draws in stream order
+  /// (gap bits, then item bits, per pair), then a decode pass that turns
+  /// the gap bits into *absolute* event times by the same repeated `+= gap`
+  /// addition ScheduleAfter performs. Buffer contents are a pure function
+  /// of the RNG stream position, so every pair is bit-identical to an
+  /// on-demand draw; undrawn pairs simply wait for a later pump.
+  void RefillLookahead();
+  /// Drain loop for the weighted (CDF-sampled) profile — the original
+  /// draw-as-you-go loop, kept separate so the uniform path stays tight.
+  void GenerateIntervalUpdatesWeighted(SimTime through, bool inclusive);
 
   /// The item of the *pending* update. Sampled at schedule time — one event
   /// ahead of its ApplyUpdate — so its state line can be prefetched across
@@ -130,10 +144,22 @@ class UpdateGenerator {
   uint64_t updates_generated_ = 0;
   uint64_t batched_applied_ = 0;
   double update_wall_seconds_ = 0.0;
-  /// Staging arrays for one ApplyUpdateBatch chunk (preallocated by
-  /// EnableBatchMode; written through raw pointers in the drain loop).
+  /// Staging arrays for one ApplyUpdateBatch chunk (weighted profile only;
+  /// preallocated by EnableBatchMode, written through raw pointers).
   std::vector<ItemId> batch_ids_;
   std::vector<SimTime> batch_times_;
+  /// Decoded lookahead (uniform profile only; preallocated by
+  /// EnableBatchMode). look_raw_ holds the gap draws' raw bits between the
+  /// draw pass and the log pass; look_item_/look_time_ hold decoded pairs
+  /// with *absolute* event times, so due runs feed ApplyUpdateBatch in
+  /// place — no per-update copy into staging. Entries [look_pos_,
+  /// look_len_) are drawn but unapplied; the head is the pending update,
+  /// mirrored in next_item_/next_time_.
+  std::vector<uint64_t> look_raw_;
+  std::vector<double> look_time_;
+  std::vector<ItemId> look_item_;
+  size_t look_pos_ = 0;
+  size_t look_len_ = 0;
 };
 
 /// Builds a per-item rate vector whose ranks follow Zipf(theta) and whose

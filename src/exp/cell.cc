@@ -48,12 +48,9 @@ Status Cell::Build() {
   // its heap or slot slab mid-run.
   sim_->Reserve(2 * config_.num_units + 16);
   db_ = std::make_unique<Database>(m.n, db_seed);
-  if (config_.strategy == StrategyKind::kNoCache) {
-    // No-caching cells build empty reports and never issue a window query,
-    // so journaling the update stream is pure overhead. (kIdeal/kStateful/
-    // kAsync keep it: tests read historical values through ValueAt.)
-    db_->SetJournalEnabled(false);
-  }
+  // Journal retention is strategy-declared now: Server::Start arms the
+  // database with ServerStrategy::retention() (kNone for no-caching,
+  // kDigestOnly for SIG/hybrid, full raw buckets otherwise).
   if (config_.update_rates.empty()) {
     updates_ = std::make_unique<UpdateGenerator>(sim_.get(), db_.get(), m.mu,
                                                  update_seed);
@@ -178,6 +175,15 @@ Status Cell::Run(uint64_t warmup_intervals, uint64_t measure_intervals) {
   for (auto& unit : units_) {
     MOBICACHE_RETURN_IF_ERROR(unit->Start());
   }
+  // Answer observers audit answered values against historical ground truth
+  // (ValueAt), which needs raw journal entries no matter how little the
+  // strategy itself retains.
+  for (const auto& unit : units_) {
+    if (unit->has_answer_observer()) {
+      server_->SetRetentionFloor(JournalRetention::kFullWindow);
+      break;
+    }
+  }
   MOBICACHE_RETURN_IF_ERROR(server_->Start());
 
   const double L = config_.model.L;
@@ -243,7 +249,10 @@ CellResult Cell::result() const {
   // Batched updates no longer pass through the scheduler, but each was one
   // dispatched event under the per-event engine; count them back in so the
   // events/sec denominator measures the same simulated work either way.
-  r.sim_events = sim_->DispatchedEvents() + updates_->batched_updates_applied();
+  // Likewise intervals replayed by the quiet-stretch skip: each replaced a
+  // broadcast tick and (when fully replayed) an elided-consumption dispatch.
+  r.sim_events = sim_->DispatchedEvents() + updates_->batched_updates_applied() +
+                 server_->skipped_dispatches();
   r.updates_applied = updates_->updates_generated();
   r.channel = channel_->stats();
 

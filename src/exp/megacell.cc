@@ -171,10 +171,8 @@ Status MegaCell::Build() {
   sim_ = std::make_unique<Simulator>();
   sim_->Reserve(1024);
   db_ = std::make_unique<Database>(m.n, db_seed);
-  if (cc.strategy == StrategyKind::kNoCache) {
-    // Same journal elision as Cell::Build: no-caching cells never read it.
-    db_->SetJournalEnabled(false);
-  }
+  // Journal retention is armed by Server::Start from the strategy's
+  // declaration, same as Cell::Build.
   if (cc.update_rates.empty()) {
     updates_ = std::make_unique<UpdateGenerator>(sim_.get(), db_.get(), m.mu,
                                                  update_seed);

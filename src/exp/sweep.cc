@@ -87,6 +87,11 @@ void RunSweepJob(const SweepJob& job, uint64_t warmup_intervals,
   timing->replay_records = cell.replay_records();
   timing->update_seconds = cell.update_wall_seconds();
   if (slot->has_value()) timing->updates_applied = (*slot)->updates_applied;
+  // A failed Build() leaves the cell without a database.
+  if (Database* db = cell.db()) {
+    timing->retention_class = JournalRetentionName(db->retention());
+    timing->journal_bytes_peak = db->journal_bytes_peak();
+  }
   if (!s.ok()) *status = std::move(s);
 }
 

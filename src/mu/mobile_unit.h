@@ -164,6 +164,12 @@ class MobileUnit {
   void SetAnswerObserver(AnswerObserver observer) {
     answer_observer_ = std::move(observer);
   }
+  /// Whether an answer observer is attached. The cell driver checks this
+  /// before starting the server: auditing observers read historical values,
+  /// so the journal retention floor is raised to full for the run.
+  bool has_answer_observer() const {
+    return static_cast<bool>(answer_observer_);
+  }
 
   /// Zeroes the accumulated statistics (used after warm-up).
   void ResetStats() { stats_ = MobileUnitStats(); }

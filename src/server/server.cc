@@ -51,6 +51,11 @@ Status Server::Start() {
   // sealed per-interval digests instead of re-scanning their window, and
   // let incremental strategies tap the update stream directly.
   db_->SetJournalBucketWidth(config_.latency);
+  // Arm the retention class the strategy declared (possibly raised by an
+  // instrumentation floor): no journal at all for strategies that never
+  // read update history, digest-only buckets for feed-driven strategies
+  // that never touch raw entries, full raw retention otherwise.
+  db_->SetRetention(std::max(strategy_->retention(), retention_floor_));
   strategy_->AttachUpdateFeed(db_);
   // Quiet-stretch journal elision: a feed-driven strategy never reads a
   // journal *window*, leaving sealed-digest splices as the only remaining
@@ -112,7 +117,16 @@ void Server::Broadcast(uint64_t interval) {
   // The jitter draw moved ahead of the report build: the delivery model owns
   // a private RNG stream, so the draw order relative to the (draw-free)
   // build is unobservable — and elision needs the jitter before deciding.
-  const double jitter = delivery_ == nullptr ? 0.0 : delivery_->SampleJitter();
+  // The quiet-stretch skip may already have drawn this interval's jitter
+  // (stashed when it handed the interval back to us); consume the stash so
+  // the stream stays one draw per interval.
+  double jitter = 0.0;
+  if (has_pending_jitter_) {
+    jitter = pending_jitter_;
+    has_pending_jitter_ = false;
+  } else if (delivery_ != nullptr) {
+    jitter = delivery_->SampleJitter();
+  }
 
   // Keep as much journal as the strategy's window needs, plus slack. Pruning
   // is batched (journal_prune_period_intervals): the cutoff always trails the
@@ -214,46 +228,168 @@ void Server::Deliver(std::shared_ptr<const Report> report, uint64_t bits,
   // tick inside this event so ResetStats boundaries and run-end truncation
   // bin elided intervals exactly like materialized ones.
   sim_->ScheduleAt(done, [this, report = std::move(report), listen, done] {
-    WallTimer timer(&broadcast_wall_seconds_);
-    // Drain updates due before the consumption instant: report observers
-    // and unit answers snapshot ground truth here, and the per-event engine
-    // had applied exactly the updates with time < done by this point.
-    if (update_pump_ != nullptr) {
-      update_pump_->GenerateIntervalUpdates(done, /*inclusive=*/false);
-    }
-    ++deliveries_completed_;
-    if (report == nullptr) {
-      if (delivery_path_ == DeliveryPath::kSink) {
-        delivery_sink_(ReportDelivery{nullptr, listen, done});
-        return;
-      }
-      ++stats_.quiet_report_intervals;
-      ++stats_.quiet_skipped_intervals;
+    ConsumeDelivery(std::move(report), listen, done);
+  });
+}
+
+void Server::ConsumeDelivery(std::shared_ptr<const Report> report,
+                             double listen, SimTime done) {
+  WallTimer timer(&broadcast_wall_seconds_);
+  // Drain updates due before the consumption instant: report observers
+  // and unit answers snapshot ground truth here, and the per-event engine
+  // had applied exactly the updates with time < done by this point.
+  if (update_pump_ != nullptr) {
+    update_pump_->GenerateIntervalUpdates(done, /*inclusive=*/false);
+  }
+  ++deliveries_completed_;
+  if (report == nullptr) {
+    if (delivery_path_ == DeliveryPath::kSink) {
+      delivery_sink_(ReportDelivery{nullptr, listen, done});
       return;
     }
-    switch (delivery_path_) {
-      case DeliveryPath::kFanOut: {
-        if (FanOutReport(*report, listen) == 0) {
-          ++stats_.quiet_report_intervals;
-        }
-        break;
+    ++stats_.quiet_report_intervals;
+    ++stats_.quiet_skipped_intervals;
+    // An elided interval on the fan-out path means the whole cell sleeps:
+    // the quiet stretch ahead can be replayed without the scheduler.
+    if (delivery_path_ == DeliveryPath::kFanOut) SkipToNextInterestingTime();
+    return;
+  }
+  switch (delivery_path_) {
+    case DeliveryPath::kFanOut: {
+      if (FanOutReport(*report, listen) == 0) {
+        ++stats_.quiet_report_intervals;
       }
-      case DeliveryPath::kSink:
+      break;
+    }
+    case DeliveryPath::kSink:
+      delivery_sink_(ReportDelivery{report, listen, done});
+      break;
+    case DeliveryPath::kGeneral: {
+      if (report_observer_) report_observer_(*report);
+      if (delivery_sink_) {
         delivery_sink_(ReportDelivery{report, listen, done});
         break;
-      case DeliveryPath::kGeneral: {
-        if (report_observer_) report_observer_(*report);
-        if (delivery_sink_) {
-          delivery_sink_(ReportDelivery{report, listen, done});
-          break;
-        }
-        if (FanOutReport(*report, listen) == 0) {
-          ++stats_.quiet_report_intervals;
-        }
-        break;
       }
+      if (FanOutReport(*report, listen) == 0) {
+        ++stats_.quiet_report_intervals;
+      }
+      break;
     }
-  });
+  }
+}
+
+void Server::SkipToNextInterestingTime() {
+  // Entry context: the consumption event of an elided interval, fan-out
+  // path — every attached unit is asleep and no jittered delivery is in
+  // flight. Replaying further intervals needs the batched update pump (the
+  // per-event update mode keeps the heap busy anyway) and a live broadcast
+  // schedule.
+  if (update_pump_ == nullptr || broadcaster_ == nullptr ||
+      !broadcaster_->active() || report_observer_ || wake_indexes_.empty()) {
+    return;
+  }
+  uint64_t interval = broadcaster_->ticks_fired();
+  SimTime tick = broadcaster_->pending_time();
+
+  // No unit event runs while we replay, so the cell's wake horizon is a
+  // loop constant: any wake registered at an interval we might reach would
+  // stop the loop at or before that interval's tick. Ditto the earliest
+  // foreign event once our own tick is out of the scheduler — replayed
+  // interval work schedules nothing and the update pump bypasses the heap.
+  SimTime wake_horizon = std::numeric_limits<SimTime>::infinity();
+  for (const WakeIndex* index : wake_indexes_) {
+    wake_horizon = std::min(wake_horizon, index->NextWakeFrom(interval));
+  }
+  if (wake_horizon <= tick || !sim_->WithinRunHorizon(tick) ||
+      sim_->NextEventTime() < tick) {
+    return;  // something happens before the next tick: nothing to skip
+  }
+
+  broadcaster_->SuspendPending();
+  const SimTime next_foreign = sim_->NextEventTime();
+  uint64_t skipped = 0;
+  while (wake_horizon > tick && next_foreign > tick &&
+         sim_->WithinRunHorizon(tick)) {
+    // Inline replay of Broadcast(interval) at virtual time `tick`, same
+    // sub-step order, minus the quiet-candidate test (awake == 0 holds for
+    // the whole stretch by construction).
+    update_pump_->GenerateIntervalUpdates(tick, /*inclusive=*/false);
+    double jitter = 0.0;
+    if (delivery_ != nullptr) jitter = delivery_->SampleJitter();
+    uint64_t bits = 0;
+    if (jitter > 0.0 ||
+        !strategy_->AdvanceQuiet(tick, interval, config_.sizes, &bits)) {
+      // This interval needs the real machinery (jittered delivery, or a
+      // strategy without a cheap advance — AdvanceQuiet consumes nothing
+      // when it declines). Its jitter draw already happened; stash it for
+      // the Broadcast() the re-armed tick will run.
+      if (delivery_ != nullptr) {
+        pending_jitter_ = jitter;
+        has_pending_jitter_ = true;
+      }
+      break;
+    }
+    // The interval is consumed from here on. The journal prune runs after
+    // the advance instead of before it (Broadcast's order): the prune
+    // cutoff trails every window the advance reads, so the swap retains at
+    // most extra history and changes no read.
+    if (++intervals_since_prune_ >= config_.journal_prune_period_intervals) {
+      intervals_since_prune_ = 0;
+      const SimTime horizon = strategy_->JournalHorizonSeconds() +
+                              config_.latency * static_cast<double>(
+                                                    config_.journal_slack_intervals);
+      if (tick > horizon) db_->PruneJournalBefore(tick - horizon);
+    }
+    const double duration = channel_->Duration(bits);
+    const SimTime done = tick + duration;
+    ++stats_.reports_broadcast;
+    stats_.report_bits.Add(static_cast<double>(bits));
+    stats_.report_air_seconds.Add(duration);
+
+    if (wake_horizon > done && next_foreign > done &&
+        sim_->WithinRunHorizon(done)) {
+      // Fully quiet interval: broadcast and elided consumption replayed in
+      // one hop (two scheduler dispatches elsewhere).
+      channel_->TransmitAt(tick, bits, TrafficClass::kReport,
+                           /*preempt=*/true);
+      db_->SetJournalElideHint(journal_elision_ok_);
+      update_pump_->GenerateIntervalUpdates(done, /*inclusive=*/false);
+      ++deliveries_completed_;
+      ++stats_.quiet_report_intervals;
+      ++stats_.quiet_skipped_intervals;
+      skipped_dispatches_ += 2;
+      ++skipped;
+      ++interval;
+      tick += config_.latency;
+      continue;
+    }
+
+    // Straddle: the broadcast itself is still quiet, but its consumption
+    // crosses the next interesting time — a unit wakes while the report is
+    // on the air (materialize, as Broadcast would), or a foreign event or
+    // the run horizon lands before `done` (stay elided; the consumption
+    // must run as a real event so it dispatches in order / in the next run
+    // phase). Either way this interval's tick is the last one skipped.
+    const bool elided = wake_horizon > done;
+    std::shared_ptr<const Report> report;
+    if (!elided) {
+      std::shared_ptr<Report>& slot = AcquireReportSlot();
+      *slot = strategy_->MaterializeQuiet(tick, interval);
+      report = slot;
+    }
+    const double listen = delivery_ == nullptr
+                              ? duration
+                              : delivery_->ListenSeconds(0.0, duration);
+    channel_->TransmitAt(tick, bits, TrafficClass::kReport, /*preempt=*/true);
+    sim_->ScheduleAt(done, [this, report = std::move(report), listen, done] {
+      ConsumeDelivery(std::move(report), listen, done);
+    });
+    db_->SetJournalElideHint(journal_elision_ok_ && elided);
+    skipped_dispatches_ += 1;  // the tick; consumption dispatches for real
+    ++skipped;
+    break;
+  }
+  broadcaster_->SkipTicks(skipped);
 }
 
 uint64_t Server::FanOutReport(const Report& report, double listen_seconds) {

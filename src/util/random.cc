@@ -12,27 +12,9 @@ uint64_t SplitMix64(uint64_t* state) {
   return z ^ (z >> 31);
 }
 
-namespace {
-
-inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
-}  // namespace
-
 Xoshiro256::Xoshiro256(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& word : s_) word = SplitMix64(&sm);
-}
-
-uint64_t Xoshiro256::Next() {
-  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
-  const uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = Rotl(s_[3], 45);
-  return result;
 }
 
 void Xoshiro256::LongJump() {
@@ -62,41 +44,6 @@ Rng Rng::Substream(uint64_t seed, uint64_t index) {
   Rng rng(seed);
   for (uint64_t i = 0; i <= index; ++i) rng.gen_.LongJump();
   return rng;
-}
-
-double Rng::NextDouble() {
-  // 53 top bits -> [0, 1) with full double precision.
-  return static_cast<double>(gen_.Next() >> 11) * 0x1.0p-53;
-}
-
-uint64_t Rng::NextUint64(uint64_t bound) {
-  assert(bound > 0);
-  // Lemire's method with rejection to remove modulo bias.
-  uint64_t x = gen_.Next();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  uint64_t low = static_cast<uint64_t>(m);
-  if (low < bound) {
-    uint64_t threshold = -bound % bound;
-    while (low < threshold) {
-      x = gen_.Next();
-      m = static_cast<__uint128_t>(x) * bound;
-      low = static_cast<uint64_t>(m);
-    }
-  }
-  return static_cast<uint64_t>(m >> 64);
-}
-
-bool Rng::Bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return NextDouble() < p;
-}
-
-double Rng::Exponential(double lambda) {
-  assert(lambda > 0.0);
-  // Inversion: -ln(1 - U) / lambda; 1 - U in (0, 1].
-  double u = 1.0 - NextDouble();
-  return -std::log(u) / lambda;
 }
 
 uint64_t Rng::Poisson(double mean) {

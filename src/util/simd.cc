@@ -1,0 +1,183 @@
+#include "util/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define MOBICACHE_SIMD_X86 1
+#endif
+
+namespace mobicache {
+namespace simd {
+
+namespace {
+
+/// Entries of slack the kernels prefetch ahead of the apply cursor; each
+/// entry touches one random slab line. Matches the database's batch walk.
+constexpr size_t kPrefetchDistance = 8;
+
+void ApplyScalar(Record16* records, const uint32_t* ids, const double* times,
+                 size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+    if (i + kPrefetchDistance < count) {
+      __builtin_prefetch(&records[ids[i + kPrefetchDistance]], /*rw=*/1,
+                         /*locality=*/1);
+    }
+#endif
+    Record16& rec = records[ids[i]];
+    rec.version += 1;
+    rec.time = times[i];
+  }
+}
+
+#if defined(MOBICACHE_SIMD_X86)
+
+/// One record update as a single 16-byte load/add/shuffle/store: the add
+/// bumps the version lane (the +0 on the time lane perturbs nothing — it is
+/// replaced below), and the shuffle splices the new timestamp's bits into
+/// the high lane. Duplicate ids within a chunk are handled naturally: the
+/// walk is in order and each step is a full read-modify-write.
+inline void ApplyOneSse2(Record16* rec, double time) {
+  const __m128i kOne = _mm_set_epi64x(0, 1);
+  __m128i* const p = reinterpret_cast<__m128i*>(rec);
+  const __m128i bumped = _mm_add_epi64(_mm_load_si128(p), kOne);
+  const __m128d out =
+      _mm_shuffle_pd(_mm_castsi128_pd(bumped), _mm_load_sd(&time), 0);
+  _mm_store_pd(reinterpret_cast<double*>(rec), out);
+}
+
+void ApplySse2(Record16* records, const uint32_t* ids, const double* times,
+               size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    if (i + kPrefetchDistance < count) {
+      __builtin_prefetch(&records[ids[i + kPrefetchDistance]], /*rw=*/1,
+                         /*locality=*/1);
+    }
+    ApplyOneSse2(&records[ids[i]], times[i]);
+  }
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define MOBICACHE_TARGET_AVX2 __attribute__((target("avx2")))
+#elif defined(__clang__)
+#define MOBICACHE_TARGET_AVX2 __attribute__((target("avx2")))
+#else
+#define MOBICACHE_TARGET_AVX2
+#endif
+
+/// Same record op VEX-encoded, unrolled four deep. The four record updates
+/// are independent unless ids collide; collisions within the quad must
+/// still apply in order, so the unrolled body is used only when the four
+/// slots are pairwise distinct — the in-order scalar tail handles the rest.
+/// (Integer adds and bit copies only: no FP arithmetic, so the AVX target
+/// attribute cannot change any result.)
+MOBICACHE_TARGET_AVX2 void ApplyAvx2(Record16* records, const uint32_t* ids,
+                                     const double* times, size_t count) {
+  const __m128i kOne = _mm_set_epi64x(0, 1);
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    if (i + kPrefetchDistance + 3 < count) {
+      __builtin_prefetch(&records[ids[i + kPrefetchDistance]], 1, 1);
+      __builtin_prefetch(&records[ids[i + kPrefetchDistance + 1]], 1, 1);
+      __builtin_prefetch(&records[ids[i + kPrefetchDistance + 2]], 1, 1);
+      __builtin_prefetch(&records[ids[i + kPrefetchDistance + 3]], 1, 1);
+    }
+    const uint32_t a = ids[i], b = ids[i + 1], c = ids[i + 2], d = ids[i + 3];
+    if (a != b && a != c && a != d && b != c && b != d && c != d) {
+      __m128i* const pa = reinterpret_cast<__m128i*>(&records[a]);
+      __m128i* const pb = reinterpret_cast<__m128i*>(&records[b]);
+      __m128i* const pc = reinterpret_cast<__m128i*>(&records[c]);
+      __m128i* const pd = reinterpret_cast<__m128i*>(&records[d]);
+      const __m128i ra = _mm_add_epi64(_mm_load_si128(pa), kOne);
+      const __m128i rb = _mm_add_epi64(_mm_load_si128(pb), kOne);
+      const __m128i rc = _mm_add_epi64(_mm_load_si128(pc), kOne);
+      const __m128i rd = _mm_add_epi64(_mm_load_si128(pd), kOne);
+      _mm_store_pd(reinterpret_cast<double*>(pa),
+                   _mm_shuffle_pd(_mm_castsi128_pd(ra),
+                                  _mm_load_sd(&times[i]), 0));
+      _mm_store_pd(reinterpret_cast<double*>(pb),
+                   _mm_shuffle_pd(_mm_castsi128_pd(rb),
+                                  _mm_load_sd(&times[i + 1]), 0));
+      _mm_store_pd(reinterpret_cast<double*>(pc),
+                   _mm_shuffle_pd(_mm_castsi128_pd(rc),
+                                  _mm_load_sd(&times[i + 2]), 0));
+      _mm_store_pd(reinterpret_cast<double*>(pd),
+                   _mm_shuffle_pd(_mm_castsi128_pd(rd),
+                                  _mm_load_sd(&times[i + 3]), 0));
+    } else {
+      ApplyOneSse2(&records[a], times[i]);
+      ApplyOneSse2(&records[b], times[i + 1]);
+      ApplyOneSse2(&records[c], times[i + 2]);
+      ApplyOneSse2(&records[d], times[i + 3]);
+    }
+  }
+  for (; i < count; ++i) ApplyOneSse2(&records[ids[i]], times[i]);
+}
+
+#endif  // MOBICACHE_SIMD_X86
+
+using ApplyFn = void (*)(Record16*, const uint32_t*, const double*, size_t);
+
+struct Dispatch {
+  ApplyFn fn;
+  const char* name;
+};
+
+Dispatch Resolve() {
+  const char* forced = std::getenv("MOBICACHE_SIMD");
+#if defined(MOBICACHE_SIMD_X86)
+  if (forced != nullptr) {
+    if (std::strcmp(forced, "scalar") == 0) return {ApplyScalar, "scalar"};
+    if (std::strcmp(forced, "sse2") == 0) return {ApplySse2, "sse2"};
+    if (std::strcmp(forced, "avx2") == 0 && __builtin_cpu_supports("avx2")) {
+      return {ApplyAvx2, "avx2"};
+    }
+    // Unknown value (or an unsupported request): fall through to auto.
+  }
+  if (__builtin_cpu_supports("avx2")) return {ApplyAvx2, "avx2"};
+  return {ApplySse2, "sse2"};
+#else
+  (void)forced;
+  return {ApplyScalar, "scalar"};
+#endif
+}
+
+const Dispatch& Resolved() {
+  static const Dispatch dispatch = Resolve();
+  return dispatch;
+}
+
+}  // namespace
+
+void ApplyVersionTimestamp(Record16* records, const uint32_t* ids,
+                           const double* times, size_t count) {
+  if (count == 0) return;
+  Resolved().fn(records, ids, times, count);
+}
+
+const char* ActiveKernelName() { return Resolved().name; }
+
+bool ApplyWithKernelForTesting(const char* name, Record16* records,
+                               const uint32_t* ids, const double* times,
+                               size_t count) {
+  if (std::strcmp(name, "scalar") == 0) {
+    ApplyScalar(records, ids, times, count);
+    return true;
+  }
+#if defined(MOBICACHE_SIMD_X86)
+  if (std::strcmp(name, "sse2") == 0) {
+    ApplySse2(records, ids, times, count);
+    return true;
+  }
+  if (std::strcmp(name, "avx2") == 0 && __builtin_cpu_supports("avx2")) {
+    ApplyAvx2(records, ids, times, count);
+    return true;
+  }
+#endif
+  return false;
+}
+
+}  // namespace simd
+}  // namespace mobicache

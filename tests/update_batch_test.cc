@@ -316,8 +316,10 @@ CellConfig BaseConfig(StrategyKind kind, double s) {
 }
 
 // A journal-quiescent strategy (SIG) must produce byte-identical runs with
-// quiet elision on and off, while the on-run actually arms journal elision
-// and (under heavy sleep) lays down digest-only buckets.
+// quiet elision on and off. SIG declares kDigestOnly retention, so *every*
+// bucket is digest-only in both runs (the representation is a strategy
+// contract now, not a quiet-stretch heuristic) — equal bucket counts and
+// identical results prove the digest path serves both configurations.
 TEST(JournalElisionCellTest, SigRunsAreByteIdenticalWithElisionOnAndOff) {
   for (double s : {0.9, 1.0}) {
     SCOPED_TRACE("s=" + std::to_string(s));
@@ -337,12 +339,13 @@ TEST(JournalElisionCellTest, SigRunsAreByteIdenticalWithElisionOnAndOff) {
     ExpectResultsIdentical(results[1], results[0]);
     EXPECT_FALSE(armed[0]);
     EXPECT_TRUE(armed[1]);
-    EXPECT_EQ(elided_buckets[0], 0u);
+    // kDigestOnly retention elides every bucket regardless of the
+    // quiet-elision config — same count either way, never zero.
+    EXPECT_EQ(elided_buckets[0], elided_buckets[1]);
+    EXPECT_GT(elided_buckets[0], 0u);
     if (s == 1.0) {
-      // Everyone asleep: every measured interval elides its broadcast, so
-      // the following journal buckets go digest-only.
+      // Everyone asleep: every measured interval elides its broadcast.
       EXPECT_GT(results[1].quiet_skipped_intervals, 0u);
-      EXPECT_GT(elided_buckets[1], 0u);
     }
   }
 }

@@ -59,6 +59,11 @@ struct HotPathFunction {
 constexpr std::array kAllocFreeHotPaths = {
     HotPathFunction{"src/server/server.cc", "Broadcast"},
     HotPathFunction{"src/server/server.cc", "Deliver"},
+    // The split consumption event and the quiet-stretch replay loop run
+    // once per interval (the replay loop once per *skipped* interval) and
+    // inherit Broadcast's allocation contract wholesale.
+    HotPathFunction{"src/server/server.cc", "ConsumeDelivery"},
+    HotPathFunction{"src/server/server.cc", "SkipToNextInterestingTime"},
     HotPathFunction{"src/server/server.cc", "FanOutReport"},
     HotPathFunction{"src/server/server.cc", "AcquireReportSlot"},
     // The batched update drain: the generator's stream loop and the
@@ -67,6 +72,10 @@ constexpr std::array kAllocFreeHotPaths = {
     // regression.
     HotPathFunction{"src/db/update_generator.cc", "GenerateIntervalUpdates"},
     HotPathFunction{"src/db/database.cc", "ApplyUpdateBatch"},
+    // Retention-specialized batch-apply bodies ApplyUpdateBatch dispatches
+    // to: same cadence, same contract.
+    HotPathFunction{"src/db/database.cc", "ApplyBatchSlabOnly"},
+    HotPathFunction{"src/db/database.cc", "ApplyBatchJournal"},
 };
 
 /// wall-clock: identifiers that are non-deterministic by construction and

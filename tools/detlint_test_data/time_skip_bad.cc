@@ -1,0 +1,34 @@
+// Fixture: alloc-event-path, quiet-stretch replay hot-path bodies. The
+// split consumption event (ConsumeDelivery) runs once per interval and the
+// time-skip replay loop (SkipToNextInterestingTime) once per skipped
+// interval; both inherit Broadcast's allocation-free contract
+// (kAllocFreeHotPaths), so reintroducing a growing-container call or a
+// shared_ptr construction in either body must be flagged. The same calls in
+// a cold-path member (Start's one-time sizing) are legal.
+// detlint:pretend(src/server/server.cc)
+
+#include <memory>
+#include <vector>
+
+namespace mobicache {
+
+void Server::ConsumeDelivery(std::shared_ptr<const Report> report,
+                             double listen, SimTime done) {
+  delivered_log_.push_back(done);  // detlint:expect(alloc-event-path)
+  (void)report;
+  (void)listen;
+}
+
+void Server::SkipToNextInterestingTime() {
+  auto report = std::make_shared<Report>();  // detlint:expect(alloc-event-path)
+  (void)report;
+}
+
+Status Server::Start() {
+  // One-time arena sizing before any event runs: legal.
+  report_arena_.reserve(4);
+  delivered_log_.reserve(1024);
+  return Status::OK();
+}
+
+}  // namespace mobicache
