@@ -81,6 +81,8 @@ class EventFn {
     static_assert(std::is_invocable_r_v<void, Fn&>,
                   "EventFn requires a void() callable");
     Reset();
+    // Placement new into the inline SBO buffer — constructs in place, does
+    // not touch the heap. detlint:allow(alloc-event-path)
     ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
     ops_ = &OpsFor<Fn>::kOps;
   }
