@@ -26,6 +26,8 @@ void GroupedAtServerStrategy::ChangedGroups(SimTime now,
   db_->UpdatedIn(now - latency_, now, &delta_scratch_);
   for (const UpdatedItem& item : delta_scratch_) {
     const uint32_t group = grouping_.GroupOf(item.id);
+    // Appends to the caller's group list — the broadcast path hands in the
+    // reused report's retained storage. detlint:allow(alloc-event-path)
     if (out->empty() || out->back() != group) out->push_back(group);
   }
 }
@@ -42,6 +44,7 @@ Report GroupedAtServerStrategy::BuildReport(SimTime now, uint64_t interval) {
 void GroupedAtServerStrategy::BuildReportInto(SimTime now, uint64_t interval,
                                               Report* out) {
   GroupedAtReport* gat = std::get_if<GroupedAtReport>(out);
+  // Variant switch happens on the first broadcast only. detlint:allow(alloc-event-path)
   if (gat == nullptr) gat = &out->emplace<GroupedAtReport>();
   gat->interval = interval;
   gat->timestamp = now;
@@ -94,6 +97,8 @@ uint64_t GroupedAtClientManager::OnReport(const Report& report,
     cache->ForEachItem([&](ItemId id, const CacheEntry&) {
       if (std::binary_search(gat.groups.begin(), gat.groups.end(),
                              grouping_.GroupOf(id))) {
+        // Member scratch, capacity retained across reports.
+        // detlint:allow(alloc-event-path)
         victims_.push_back(id);
       }
     });

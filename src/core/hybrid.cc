@@ -59,6 +59,8 @@ void HybridSigServerStrategy::FoldChangesThrough(
       dirty_flags_[id] = 0;
       if (std::binary_search(hot_set_.begin(), hot_set_.end(), id)) {
         if (db_->LastUpdateOf(id) > now - latency_) {
+          // Appends to the caller's hot list — the broadcast path hands in
+          // the reused report's storage. detlint:allow(alloc-event-path)
           hot_out->push_back(id);
         }
       } else {
@@ -70,6 +72,7 @@ void HybridSigServerStrategy::FoldChangesThrough(
     for (const UpdatedItem& item : db_->UpdatedIn(last_folded_, now)) {
       if (std::binary_search(hot_set_.begin(), hot_set_.end(), item.id)) {
         if (item.updated_at > now - latency_) {
+          // Same caller-owned hot list as above. detlint:allow(alloc-event-path)
           hot_out->push_back(item.id);
         }
       } else {
@@ -93,6 +96,7 @@ Report HybridSigServerStrategy::BuildReport(SimTime now, uint64_t interval) {
 void HybridSigServerStrategy::BuildReportInto(SimTime now, uint64_t interval,
                                               Report* out) {
   HybridReport* hy = std::get_if<HybridReport>(out);
+  // Variant switch happens on the first broadcast only. detlint:allow(alloc-event-path)
   if (hy == nullptr) hy = &out->emplace<HybridReport>();
   hy->interval = interval;
   hy->timestamp = now;
@@ -100,6 +104,8 @@ void HybridSigServerStrategy::BuildReportInto(SimTime now, uint64_t interval,
   FoldChangesThrough(now, &hy->hot_ids);
   std::sort(hy->hot_ids.begin(), hy->hot_ids.end());
   const std::vector<uint64_t>& combined = state_.Combined();
+  // Fills the reused report's retained capacity (signature width is fixed
+  // after setup). detlint:allow(alloc-event-path)
   hy->combined.assign(combined.begin(), combined.end());
 }
 
@@ -156,9 +162,11 @@ uint64_t HybridSigClientManager::OnReport(const Report& report,
       const bool drop =
           missed_one || std::binary_search(hybrid.hot_ids.begin(),
                                            hybrid.hot_ids.end(), id);
+      // Both lists are member scratch with capacity retained across
+      // reports. detlint:allow(alloc-event-path)
       if (drop) hot_victims_.push_back(id);
     } else {
-      cold_cached_.push_back(id);
+      cold_cached_.push_back(id);  // detlint:allow(alloc-event-path) member scratch
     }
   });
   for (ItemId id : hot_victims_) cache->Erase(id);

@@ -31,6 +31,7 @@ class NullServerStrategy : public ServerStrategy {
   void BuildReportInto(SimTime now, uint64_t interval,
                        Report* out) override {
     NullReport* null = std::get_if<NullReport>(out);
+    // Variant switch happens on the first broadcast only. detlint:allow(alloc-event-path)
     if (null == nullptr) null = &out->emplace<NullReport>();
     null->interval = interval;
     null->timestamp = now;

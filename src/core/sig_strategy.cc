@@ -61,10 +61,13 @@ void SigServerStrategy::BuildReportInto(SimTime now, uint64_t interval,
                                         Report* out) {
   FoldChangesThrough(now);
   SigReport* sig = std::get_if<SigReport>(out);
+  // Variant switch happens on the first broadcast only. detlint:allow(alloc-event-path)
   if (sig == nullptr) sig = &out->emplace<SigReport>();
   sig->interval = interval;
   sig->timestamp = now;
   const std::vector<uint64_t>& combined = state_.Combined();
+  // Fills the reused report's retained capacity (signature width is fixed
+  // after setup). detlint:allow(alloc-event-path)
   sig->combined.assign(combined.begin(), combined.end());
 }
 
