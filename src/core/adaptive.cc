@@ -48,10 +48,13 @@ void AdaptiveTsServerStrategy::OnUplinkQuery(const UplinkQueryInfo& info) {
   PeriodActivity& act = period_[info.id];
   ++act.uplinks;
   std::vector<SimTime>& times = act.query_times_by_client[info.client_id];
+  // Adaptive-controller accounting allocates by design: the per-period
+  // activity map is rebuilt each evaluation period, off the lean strategies'
+  // allocation-free contract. detlint:allow(alloc-event-path)
   times.push_back(info.time);
   for (SimTime t : info.local_hit_times) {
     ++act.local_hits;
-    times.push_back(t);
+    times.push_back(t);  // detlint:allow(alloc-event-path) same accounting
   }
 }
 
@@ -167,7 +170,12 @@ void AdaptiveTsServerStrategy::Reevaluate(SimTime now, uint64_t interval) {
   (void)interval;
   ++evaluations_run_;
 
-  // Per-item update histories over the period, for MHR estimation.
+  // Per-item update histories over the period, for MHR estimation. The raw
+  // per-update entries only exist under full-window retention; this strategy
+  // declares kFullWindow, and the guard keeps a future retention change from
+  // silently feeding the controller an empty history.
+  assert(db_->retention() == JournalRetention::kFullWindow &&
+         "adaptive MHR estimation reads raw journal entries");
   std::unordered_map<ItemId, std::vector<SimTime>> updates;
   for (const UpdatedItem& ev : db_->JournalIn(period_start_, now)) {
     if (period_.count(ev.id) > 0) updates[ev.id].push_back(ev.updated_at);
@@ -282,6 +290,9 @@ uint64_t AdaptiveTsClientManager::OnReport(const Report& report,
   }
 
   std::unordered_map<ItemId, SimTime> mentioned;
+  // Adaptive clients rebuild the mention map per report; the adaptive
+  // variant trades allocations for its controller and is off the lean
+  // strategies' allocation-free contract. detlint:allow(alloc-event-path)
   mentioned.reserve(ats.entries.size());
   for (const TsReportEntry& e : ats.entries) mentioned[e.id] = e.updated_at;
 
@@ -289,6 +300,7 @@ uint64_t AdaptiveTsClientManager::OnReport(const Report& report,
   cache->ForEachItem([&](ItemId id, const CacheEntry& entry) {
     auto it = mentioned.find(id);
     if (it != mentioned.end()) {
+      // Member scratch, capacity retained. detlint:allow(alloc-event-path)
       if (entry.timestamp < it->second) victims_.push_back(id);
       return;
     }
@@ -297,6 +309,7 @@ uint64_t AdaptiveTsClientManager::OnReport(const Report& report,
     const double window_secs =
         latency_ * static_cast<double>(KnownWindowOf(id));
     if (entry.timestamp < ats.timestamp - window_secs) {
+      // Member scratch, capacity retained. detlint:allow(alloc-event-path)
       victims_.push_back(id);
       ++staleness_drops_;
     }
@@ -315,6 +328,8 @@ void AdaptiveTsClientManager::OnLocalHit(ItemId id, SimTime time) {
   if (options_.feedback != AdaptiveFeedback::kMethod1) return;
   std::vector<SimTime>& hits = pending_hits_[id];
   if (hits.size() >= kMaxPendingHits) hits.erase(hits.begin());
+  // Bounded at kMaxPendingHits entries per id; capacity is retained once the
+  // bound is reached. detlint:allow(alloc-event-path)
   hits.push_back(time);
 }
 
