@@ -127,6 +127,8 @@ uint64_t QuasiAtClientManager::OnReport(const Report& report,
     restamp_.clear();
     cache->ForEachItem([&](ItemId id, const CacheEntry& entry) {
       if (at.timestamp - entry.timestamp > alpha_ - latency_) {
+        // Member scratch, capacity retained across reports.
+        // detlint:allow(alloc-event-path)
         restamp_.push_back(id);
       }
     });
