@@ -51,6 +51,8 @@ struct MegaCell::Shard {
       rec.time = now;
       rec.kind = LogRecord::kUplink;
       rec.info = info;
+      // Per-window shard log, cleared at the barrier with capacity
+      // retained. detlint:allow(alloc-event-path)
       shard->log.push_back(std::move(rec));
       return FetchResult{db->ValueOf(info.id), now};
     }

