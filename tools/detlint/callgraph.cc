@@ -1,0 +1,249 @@
+#include "callgraph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace detlint {
+
+namespace {
+
+bool InSrc(const std::string& path) { return path.rfind("src/", 0) == 0; }
+
+/// All classes related to `cls` by inheritance in the given direction
+/// (transitive, `cls` exclusive).
+std::set<std::string> Walk(
+    const std::map<std::string, std::set<std::string>>& edges,
+    const std::string& cls) {
+  std::set<std::string> out;
+  std::deque<std::string> frontier{cls};
+  while (!frontier.empty()) {
+    const std::string cur = frontier.front();
+    frontier.pop_front();
+    auto it = edges.find(cur);
+    if (it == edges.end()) continue;
+    for (const std::string& next : it->second) {
+      if (out.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return out;
+}
+
+/// Defs of `name` whose owning class is in `family` (or free when `family`
+/// contains the empty string).
+std::vector<FuncRef> DefsIn(const RepoIndex& repo, const std::string& name,
+                            const std::set<std::string>& family) {
+  std::vector<FuncRef> out;
+  auto it = repo.by_name.find(name);
+  if (it == repo.by_name.end()) return out;
+  for (const FuncRef& ref : it->second) {
+    if (family.count(repo.files[ref.file].defs[ref.def].cls) > 0) {
+      out.push_back(ref);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RepoIndex BuildRepoIndex(std::vector<std::pair<std::string, FileScan>> files) {
+  RepoIndex repo;
+  repo.scans.reserve(files.size());
+  repo.files.reserve(files.size());
+  for (auto& [path, scan] : files) {
+    // The reserve above guarantees scans never reallocates: FileIndex::scan
+    // keeps a pointer to the element.
+    repo.scans.push_back(std::move(scan));
+    repo.files.push_back(BuildFileIndex(path, repo.scans.back()));
+  }
+
+  std::set<std::string> var_conflicts;
+  for (size_t f = 0; f < repo.files.size(); ++f) {
+    const FileIndex& idx = repo.files[f];
+    for (size_t d = 0; d < idx.defs.size(); ++d) {
+      repo.by_name[idx.defs[d].name].push_back(FuncRef{f, d});
+    }
+    for (const auto& [name, type] : idx.var_types) {
+      if (var_conflicts.count(name) > 0) continue;
+      auto it = repo.var_types.find(name);
+      if (it == repo.var_types.end()) {
+        repo.var_types[name] = type;
+      } else if (it->second != type) {
+        repo.var_types.erase(it);
+        var_conflicts.insert(name);
+      }
+    }
+    for (const auto& [cls, bases] : idx.bases) {
+      for (const std::string& base : bases) {
+        repo.bases[cls].insert(base);
+        repo.derived[base].insert(cls);
+      }
+    }
+  }
+  return repo;
+}
+
+std::vector<FuncRef> ResolveCall(const RepoIndex& repo, size_t file_idx,
+                                 const CallSite& call) {
+  const FileIndex& file = repo.files[file_idx];
+
+  if (!call.qualifier.empty()) {
+    std::set<std::string> family{call.qualifier};
+    std::vector<FuncRef> defs = DefsIn(repo, call.name, family);
+    if (!defs.empty()) return defs;
+    // Inherited member invoked through the derived class's name.
+    family = Walk(repo.bases, call.qualifier);
+    return DefsIn(repo, call.name, family);
+  }
+
+  std::string receiver_type;
+  if (!call.receiver.empty()) {
+    if (call.receiver == "this") {
+      if (call.owner < file.defs.size()) {
+        receiver_type = file.defs[call.owner].cls;
+      }
+    } else {
+      auto it = file.var_types.find(call.receiver);
+      if (it != file.var_types.end()) {
+        receiver_type = it->second;
+      } else {
+        auto rt = repo.var_types.find(call.receiver);
+        if (rt != repo.var_types.end()) receiver_type = rt->second;
+      }
+    }
+    if (receiver_type.empty()) return {};  // untyped receiver: no guessing
+    // The static type, its ancestors (inherited members), and its
+    // descendants (virtual dispatch may run any override).
+    std::set<std::string> family{receiver_type};
+    for (const std::string& c : Walk(repo.bases, receiver_type)) {
+      family.insert(c);
+    }
+    for (const std::string& c : Walk(repo.derived, receiver_type)) {
+      family.insert(c);
+    }
+    return DefsIn(repo, call.name, family);
+  }
+
+  // Unqualified call: the owner's own class and its ancestors first, free
+  // functions otherwise.
+  std::string owner_cls;
+  if (call.owner < file.defs.size()) owner_cls = file.defs[call.owner].cls;
+  if (!owner_cls.empty()) {
+    std::set<std::string> family{owner_cls};
+    for (const std::string& c : Walk(repo.bases, owner_cls)) family.insert(c);
+    std::vector<FuncRef> defs = DefsIn(repo, call.name, family);
+    if (!defs.empty()) return defs;
+  }
+  return DefsIn(repo, call.name, {""});
+}
+
+std::string QualifiedName(const RepoIndex& repo, const FuncRef& ref) {
+  const FunctionDef& def = repo.files[ref.file].defs[ref.def];
+  return def.cls.empty() ? def.name : def.cls + "::" + def.name;
+}
+
+std::vector<ScheduledLambda> ScheduledLambdas(const FileScan& scan) {
+  std::vector<ScheduledLambda> out;
+  const std::vector<Token>& t = scan.tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!IsIdent(t[i], "ScheduleAt") && !IsIdent(t[i], "ScheduleAfter")) {
+      continue;
+    }
+    if (!IsPunct(t[i + 1], "(")) continue;
+    const size_t call_end = SkipBalanced(t, i + 1);
+    // Lambdas appearing directly as arguments: '[' preceded by '(' or ','
+    // at any nesting level inside the call.
+    for (size_t j = i + 2; j < call_end; ++j) {
+      if (!IsPunct(t[j], "[")) continue;
+      if (!(IsPunct(t[j - 1], "(") || IsPunct(t[j - 1], ","))) continue;
+      size_t k = SkipBalanced(t, j);  // past the capture list
+      const size_t capture_end = k - 1;
+      if (k < call_end && IsPunct(t[k], "(")) k = SkipBalanced(t, k);
+      while (k < call_end && !IsPunct(t[k], "{")) ++k;  // mutable/noexcept/->
+      if (k >= call_end) continue;
+      const size_t body_end = SkipBalanced(t, k);
+      ScheduledLambda lam;
+      lam.capture_begin = j + 1;
+      lam.capture_end = capture_end;
+      lam.body_begin = k + 1;
+      lam.body_end = body_end - 1;
+      lam.line = t[j].line;
+      out.push_back(lam);
+      j = body_end > j ? body_end - 1 : j;
+    }
+  }
+  return out;
+}
+
+HotSet ComputeHotClosure(const RepoIndex& repo,
+                         const std::vector<HotRoot>& roots,
+                         const std::string& check) {
+  HotSet hot;
+  std::deque<FuncRef> frontier;
+
+  auto admit = [&](const FuncRef& ref, HotPath path) {
+    const FileIndex& file = repo.files[ref.file];
+    if (!InSrc(file.path)) return;
+    if (FunctionAllows(*file.scan, file.defs[ref.def], check)) return;
+    if (!hot.emplace(ref, std::move(path)).second) return;  // BFS: first wins
+    frontier.push_back(ref);
+  };
+
+  // Configured roots.
+  for (const HotRoot& root : roots) {
+    auto it = repo.by_name.find(root.name);
+    if (it == repo.by_name.end()) continue;
+    for (const FuncRef& ref : it->second) {
+      const FunctionDef& def = repo.files[ref.file].defs[ref.def];
+      if (def.cls != root.cls) continue;
+      HotPath path;
+      path.root = QualifiedName(repo, ref);
+      admit(ref, std::move(path));
+    }
+  }
+
+  // Scheduled-lambda seeds: every call inside a lambda handed to
+  // ScheduleAt/ScheduleAfter makes its callees hot.
+  for (size_t f = 0; f < repo.files.size(); ++f) {
+    const FileIndex& file = repo.files[f];
+    if (!InSrc(file.path)) continue;
+    const auto lambdas = ScheduledLambdas(*file.scan);
+    if (lambdas.empty()) continue;
+    for (const CallSite& call : file.calls) {
+      bool inside = false;
+      for (const ScheduledLambda& lam : lambdas) {
+        if (call.token >= lam.body_begin && call.token < lam.body_end) {
+          inside = true;
+          break;
+        }
+      }
+      if (!inside) continue;
+      for (const FuncRef& callee : ResolveCall(repo, f, call)) {
+        HotPath path;
+        path.root = "a lambda scheduled on the event loop (" + file.path +
+                    ":" + std::to_string(call.line) + ")";
+        path.chain.push_back(QualifiedName(repo, callee));
+        admit(callee, std::move(path));
+      }
+    }
+  }
+
+  // Transitive closure over resolved calls.
+  while (!frontier.empty()) {
+    const FuncRef cur = frontier.front();
+    frontier.pop_front();
+    const HotPath cur_path = hot.at(cur);
+    const FileIndex& file = repo.files[cur.file];
+    for (const CallSite& call : file.calls) {
+      if (call.owner != cur.def) continue;
+      for (const FuncRef& callee : ResolveCall(repo, cur.file, call)) {
+        if (callee == cur) continue;  // recursion
+        HotPath path = cur_path;
+        path.chain.push_back(QualifiedName(repo, callee));
+        admit(callee, std::move(path));
+      }
+    }
+  }
+  return hot;
+}
+
+}  // namespace detlint

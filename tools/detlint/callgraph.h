@@ -1,0 +1,124 @@
+// Pass 1½ of the detlint v2 engine: the per-file indexes from scope.h are
+// stitched into a RepoIndex — a repo-wide function table, merged receiver
+// typing, and the class inheritance relation — over which calls resolve by
+// name with class-qualified disambiguation:
+//
+//   Qual::name(...)   definitions of `name` owned by Qual (falling back to
+//                     Qual's ancestors for inherited statics).
+//   recv->name(...)   the receiver's declared type T (from the merged
+//   recv.name(...)    var_types), then defs of `name` owned by T, T's
+//                     ancestors (inherited members) or T's descendants
+//                     (virtual dispatch: a base-typed receiver may run any
+//                     override).
+//   name(...)         the enclosing definition's own class and its
+//                     ancestors; free functions when the owner has none.
+//
+// Unresolvable calls (unknown receiver type, no indexed definition) resolve
+// to nothing — the engine under-approximates rather than guesses, and the
+// checks that consume the closure treat "not provably hot" as cold.
+//
+// On top of resolution sits the transitive hot closure that replaces the
+// old hand-listed hot-path scan: seeded at configured root functions and at
+// every lambda scheduled on the event loop, any definition reachable
+// through resolved calls inherits the hot-path contract automatically. A
+// `detlint:allow-function(<check>)` directive inside a definition declares
+// a sanctioned cold crossing: the definition is neither scanned nor
+// propagated through.
+
+#ifndef MOBICACHE_TOOLS_DETLINT_CALLGRAPH_H_
+#define MOBICACHE_TOOLS_DETLINT_CALLGRAPH_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lexer.h"
+#include "scope.h"
+
+namespace detlint {
+
+/// (file index, def index) — one function definition in the repo.
+struct FuncRef {
+  size_t file = 0;
+  size_t def = 0;
+  bool operator<(const FuncRef& o) const {
+    return file != o.file ? file < o.file : def < o.def;
+  }
+  bool operator==(const FuncRef& o) const {
+    return file == o.file && def == o.def;
+  }
+};
+
+struct RepoIndex {
+  /// One FileScan per input file, owned here; FileIndex::scan points in.
+  std::vector<FileScan> scans;
+  std::vector<FileIndex> files;
+  /// Unqualified function name -> every definition carrying it.
+  std::map<std::string, std::vector<FuncRef>> by_name;
+  /// Repo-merged receiver typing (per-file maps win; cross-file conflicts
+  /// drop the name).
+  std::map<std::string, std::string> var_types;
+  /// class -> direct bases, merged across files.
+  std::map<std::string, std::set<std::string>> bases;
+  /// class -> direct derived classes (reverse of bases).
+  std::map<std::string, std::set<std::string>> derived;
+};
+
+/// Builds the repo index from (path, file content scan) pairs. Scans are
+/// moved in and owned by the result.
+RepoIndex BuildRepoIndex(std::vector<std::pair<std::string, FileScan>> files);
+
+/// Definitions `call` (appearing in files[file_idx]) may invoke. Empty when
+/// the call cannot be resolved against the index.
+std::vector<FuncRef> ResolveCall(const RepoIndex& repo, size_t file_idx,
+                                 const CallSite& call);
+
+/// "Cls::Name" / "Name" display label for a definition.
+std::string QualifiedName(const RepoIndex& repo, const FuncRef& ref);
+
+/// One lambda passed directly as an argument to Simulator::ScheduleAt /
+/// ScheduleAfter: the token ranges of its capture list (inside the
+/// brackets) and body (inside the braces). These are the event-loop hot
+/// seeds — the ranges the alloc scan walks and the capture-budget check
+/// estimates.
+struct ScheduledLambda {
+  size_t capture_begin = 0;
+  size_t capture_end = 0;
+  size_t body_begin = 0;
+  size_t body_end = 0;
+  int line = 0;  ///< line of the '[' introducer
+};
+
+std::vector<ScheduledLambda> ScheduledLambdas(const FileScan& scan);
+
+/// A configured hot-closure root: every definition of `name` owned by `cls`
+/// (empty cls = free function).
+struct HotRoot {
+  const char* cls;
+  const char* name;
+};
+
+/// Why a definition is hot: the root it is reachable from plus the call
+/// chain (qualified names, root exclusive, the definition itself inclusive;
+/// empty for the root definitions themselves).
+struct HotPath {
+  std::string root;
+  std::vector<std::string> chain;
+};
+
+using HotSet = std::map<FuncRef, HotPath>;
+
+/// BFS over resolved calls from `roots` and from every scheduled-lambda
+/// body in src/ files. Propagation stays inside src/ (tests and bench reuse
+/// hot helpers on cold paths) and is pruned at definitions carrying
+/// detlint:allow-function(<check>) — those are sanctioned cold crossings.
+HotSet ComputeHotClosure(const RepoIndex& repo,
+                         const std::vector<HotRoot>& roots,
+                         const std::string& check);
+
+}  // namespace detlint
+
+#endif  // MOBICACHE_TOOLS_DETLINT_CALLGRAPH_H_

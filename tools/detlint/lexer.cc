@@ -29,6 +29,8 @@ void ParseDirectives(const std::string& comment, int line, FileScan* scan) {
     const std::string arg = comment.substr(open + 1, close - open - 1);
     if (verb == "allow") {
       scan->allows[line].insert(arg);
+    } else if (verb == "allow-function") {
+      scan->function_allows[line].insert(arg);
     } else if (verb == "allow-file") {
       scan->file_allows.insert(arg);
     } else if (verb == "expect") {
@@ -83,11 +85,27 @@ FileScan Lex(const std::string& content) {
     }
     at_line_start = false;
 
-    // Line comment.
+    // Line comment. Phase-2 line splicing happens *before* comment
+    // recognition in real C++, so a `//` comment whose line ends in a
+    // backslash continues onto the next physical line. Ending the comment
+    // at the raw newline instead used to leak continued comment prose into
+    // the token stream — and prose containing a raw-string opener like
+    // `R"del(` would then swallow real code up to a fake closer, hiding
+    // findings (tools/detlint_test_data/rawstring_comment.cc proves both
+    // directions).
     if (c == '/' && i + 1 < n && content[i + 1] == '/') {
       const size_t start = i;
-      while (i < n && content[i] != '\n') ++i;
-      ParseDirectives(content.substr(start, i - start), line, &scan);
+      const int start_line = line;
+      while (i < n) {
+        if (content[i] == '\\' && i + 1 < n && content[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (content[i] == '\n') break;
+        ++i;
+      }
+      ParseDirectives(content.substr(start, i - start), start_line, &scan);
       continue;
     }
     // Block comment.

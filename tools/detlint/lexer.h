@@ -8,6 +8,11 @@
 // The scanner also collects detlint's comment directives:
 //
 //   // detlint:allow(<check>)       suppress <check> on this and the next line
+//   // detlint:allow-function(<check>)  suppress <check> for the whole
+//                                   function definition containing this
+//                                   comment, and stop the transitive
+//                                   hot-path closure from propagating
+//                                   through it (a sanctioned cold crossing)
 //   // detlint:allow-file(<check>)  suppress <check> for the whole file
 //   // detlint:expect(<check>)      self-test: a finding of <check> MUST fire
 //                                   on this line (fixture files only)
@@ -43,6 +48,12 @@ struct FileScan {
   std::map<int, std::set<std::string>> allows;
   /// line -> check names a self-test fixture expects to fire on that line.
   std::map<int, std::set<std::string>> expects;
+  /// line -> check names suppressed for the whole function definition whose
+  /// body spans that line (see detlint:allow-function below). The scope
+  /// engine maps lines to definitions; a function-level allow also stops
+  /// the transitive hot-path closure from propagating through the function
+  /// (it declares a sanctioned cold crossing, not a hot helper).
+  std::map<int, std::set<std::string>> function_allows;
   /// Checks suppressed for the whole file.
   std::set<std::string> file_allows;
   /// Non-empty when the file carries a detlint:pretend(<path>) directive.

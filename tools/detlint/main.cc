@@ -2,32 +2,56 @@
 // invariants (see checks.h for the check catalogue).
 //
 // Usage:
-//   detlint [--root=DIR] [--compdb=compile_commands.json] [paths...]
+//   detlint [--root=DIR] [--compdb=compile_commands.json]
+//           [--format=text|sarif] [--sarif-out=FILE]
+//           [--baseline=FILE] [--write-baseline=FILE] [paths...]
 //   detlint --self-test FIXTURE_DIR
 //
-// Paths may be files or directories (recursed for *.cc / *.h). With
-// --compdb, the translation units listed in the compilation database are
-// linted (plus any explicit paths). Scope rules key on the path relative to
-// --root (default: the current directory), so run it from the repo root or
-// pass --root. Exit status: 0 = clean, 1 = findings, 2 = usage/IO error.
+// Paths may be files or directories (recursed for *.cc / *.h; files
+// carrying a detlint:pretend directive — self-test fixtures — are skipped
+// during recursion but always linted when named explicitly). With --compdb,
+// the translation units listed in the compilation database are linted (plus
+// any explicit paths). Scope rules key on the path relative to --root
+// (default: the current directory), so run it from the repo root or pass
+// --root.
+//
+// The engine is two-pass: every input file is lexed and parsed into a scope
+// tree / call index first (scope.h), the indexes are stitched into one
+// repo-wide RepoIndex (callgraph.h), and only then do the checks run — so
+// the transitive hot-path closure sees every definition, whatever file it
+// lives in.
+//
+// --baseline filters findings against a checked-in suppression file (one
+// `path:line:check` per line, `#` comments); --write-baseline regenerates
+// it. --format=sarif (or --sarif-out=FILE alongside text output) emits the
+// non-baselined findings as SARIF 2.1.0 for CI artifact upload.
+//
+// Exit status: 0 = clean (or fully baselined), 1 = findings, 2 = usage/IO
+// error.
 //
 // --self-test runs every check over the fixture corpus in
 // tools/detlint_test_data/: each fixture declares the path it pretends to
 // live at (detlint:pretend) and the findings it must provoke
-// (detlint:expect). The self-test fails on any missing or unexpected
-// finding, so the linter itself is regression-tested.
+// (detlint:expect), and is indexed as its own single-file repo so fixtures
+// pretending the same path cannot contaminate each other. The self-test
+// fails on any missing or unexpected finding, and prints its wall time so
+// lint-speed regressions are visible in CI logs.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "callgraph.h"
 #include "checks.h"
 #include "lexer.h"
+#include "sarif.h"
 
 namespace detlint {
 namespace {
@@ -41,6 +65,13 @@ bool ReadFile(const fs::path& path, std::string* out) {
   ss << in.rdbuf();
   *out = ss.str();
   return true;
+}
+
+bool WriteFile(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return out.good();
 }
 
 std::string Slashed(std::string s) {
@@ -66,23 +97,28 @@ bool IsSourceFile(const fs::path& p) {
   return ext == ".cc" || ext == ".h";
 }
 
-void GatherFiles(const fs::path& path, std::vector<fs::path>* out) {
+struct InputFile {
+  fs::path path;
+  bool from_recursion = false;  ///< found by directory walk, not named
+};
+
+void GatherFiles(const fs::path& path, std::vector<InputFile>* out) {
   std::error_code ec;
   if (fs::is_directory(path, ec)) {
     for (auto it = fs::recursive_directory_iterator(path, ec);
          it != fs::recursive_directory_iterator(); it.increment(ec)) {
       if (it->is_regular_file(ec) && IsSourceFile(it->path())) {
-        out->push_back(it->path());
+        out->push_back(InputFile{it->path(), /*from_recursion=*/true});
       }
     }
   } else {
-    out->push_back(path);
+    out->push_back(InputFile{path, /*from_recursion=*/false});
   }
 }
 
 /// Extracts the "file" entries of a compile_commands.json without a JSON
 /// library; the format CMake emits is regular enough for a textual scan.
-bool GatherFromCompdb(const fs::path& compdb, std::vector<fs::path>* out) {
+bool GatherFromCompdb(const fs::path& compdb, std::vector<InputFile>* out) {
   std::string content;
   if (!ReadFile(compdb, &content)) return false;
   const std::string key = "\"file\":";
@@ -92,122 +128,257 @@ bool GatherFromCompdb(const fs::path& compdb, std::vector<fs::path>* out) {
     if (open == std::string::npos) break;
     size_t close = content.find('"', open + 1);
     if (close == std::string::npos) break;
-    out->push_back(fs::path(content.substr(open + 1, close - open - 1)));
+    out->push_back(InputFile{fs::path(content.substr(open + 1, close - open - 1)),
+                             /*from_recursion=*/true});
     pos = close + 1;
   }
   return true;
 }
 
-/// Lints one file; returns its findings (empty vector when clean).
-std::vector<Finding> LintFile(const fs::path& root, const fs::path& file,
-                              const FileScan& scan) {
-  CheckInput in;
-  in.path = scan.pretend_path.empty() ? RelativeTo(root, file)
-                                      : scan.pretend_path;
-  in.scan = &scan;
-  // Members of a .cc's class usually live in the paired header; pick up its
-  // unordered-container names so range-fors over members are caught too.
-  fs::path header = file;
-  if (header.extension() == ".cc") {
-    header.replace_extension(".h");
-    std::string content;
-    if (ReadFile(header, &content)) {
-      in.extra_unordered_names = CollectUnorderedNames(Lex(content));
-    }
-  }
-  return RunChecks(in);
+/// `path:line:check`, the baseline key of a finding.
+std::string BaselineKey(const Finding& f) {
+  return f.path + ":" + std::to_string(f.line) + ":" + f.check;
 }
 
-int RunLint(const fs::path& root, const std::vector<fs::path>& files) {
-  size_t total = 0;
+bool LoadBaseline(const fs::path& path, std::set<std::string>* out) {
+  std::string content;
+  if (!ReadFile(path, &content)) return false;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    out->insert(line);
+  }
+  return true;
+}
+
+struct LintOptions {
+  fs::path root;
+  bool sarif_to_stdout = false;
+  fs::path sarif_out;      // empty = none
+  fs::path baseline;       // empty = none
+  fs::path write_baseline; // empty = none
+};
+
+int RunLint(const LintOptions& opts, const std::vector<InputFile>& inputs) {
+  // Read + lex everything first; build one repo-wide index.
+  std::vector<std::pair<std::string, FileScan>> scans;
+  RepoCheckInput check_in;
   std::set<std::string> seen;  // dedupe (compdb + explicit path overlap)
-  for (const fs::path& file : files) {
-    const std::string key = Slashed(fs::weakly_canonical(file).string());
+  std::set<std::string> indexed_paths;
+  for (const InputFile& input : inputs) {
+    const std::string key =
+        Slashed(fs::weakly_canonical(input.path).string());
     if (!seen.insert(key).second) continue;
     std::string content;
-    if (!ReadFile(file, &content)) {
-      std::fprintf(stderr, "detlint: cannot read %s\n", file.c_str());
+    if (!ReadFile(input.path, &content)) {
+      std::fprintf(stderr, "detlint: cannot read %s\n",
+                   input.path.c_str());
       return 2;
     }
-    const FileScan scan = Lex(content);
-    for (const Finding& f : LintFile(root, file, scan)) {
-      std::printf("%s:%d: error: %s [detlint-%s]\n", f.path.c_str(), f.line,
-                  f.message.c_str(), f.check.c_str());
-      ++total;
+    FileScan scan = Lex(content);
+    // Self-test fixtures pretend to live in src/; they are corpus data for
+    // --self-test, not part of the tree being linted.
+    if (input.from_recursion && !scan.pretend_path.empty()) continue;
+    const std::string path = scan.pretend_path.empty()
+                                 ? RelativeTo(opts.root, input.path)
+                                 : scan.pretend_path;
+    indexed_paths.insert(path);
+    scans.emplace_back(path, std::move(scan));
+  }
+  // Single-file runs: the paired header is not among the inputs, so collect
+  // its unordered-container names out-of-band (repo runs find the header in
+  // the index itself).
+  for (const InputFile& input : inputs) {
+    if (input.path.extension() != ".cc") continue;
+    fs::path header = input.path;
+    header.replace_extension(".h");
+    if (indexed_paths.count(RelativeTo(opts.root, header)) > 0) continue;
+    std::string content;
+    if (!ReadFile(header, &content)) continue;
+    check_in.extra_unordered_names[RelativeTo(opts.root, input.path)] =
+        CollectUnorderedNames(Lex(content));
+  }
+
+  const RepoIndex repo = BuildRepoIndex(std::move(scans));
+  check_in.repo = &repo;
+  std::vector<Finding> findings = RunRepoChecks(check_in);
+
+  if (!opts.write_baseline.empty()) {
+    std::string content =
+        "# detlint suppression baseline: one path:line:check per line.\n"
+        "# Regenerate with --write-baseline after reviewing every entry.\n";
+    std::set<std::string> keys;
+    for (const Finding& f : findings) keys.insert(BaselineKey(f));
+    for (const std::string& k : keys) content += k + "\n";
+    if (!WriteFile(opts.write_baseline, content)) {
+      std::fprintf(stderr, "detlint: cannot write baseline %s\n",
+                   opts.write_baseline.c_str());
+      return 2;
+    }
+    std::printf("detlint: wrote %zu baseline entr%s to %s\n", keys.size(),
+                keys.size() == 1 ? "y" : "ies",
+                opts.write_baseline.c_str());
+    return 0;
+  }
+
+  size_t baselined = 0;
+  if (!opts.baseline.empty()) {
+    std::set<std::string> baseline;
+    if (!LoadBaseline(opts.baseline, &baseline)) {
+      std::fprintf(stderr, "detlint: cannot read baseline %s\n",
+                   opts.baseline.c_str());
+      return 2;
+    }
+    std::vector<Finding> kept;
+    for (Finding& f : findings) {
+      if (baseline.count(BaselineKey(f)) > 0) {
+        ++baselined;
+      } else {
+        kept.push_back(std::move(f));
+      }
+    }
+    findings = std::move(kept);
+  }
+
+  if (!opts.sarif_out.empty() || opts.sarif_to_stdout) {
+    const std::string sarif = SarifReport(findings);
+    if (opts.sarif_to_stdout) {
+      std::fputs(sarif.c_str(), stdout);
+    }
+    if (!opts.sarif_out.empty() &&
+        !WriteFile(opts.sarif_out, sarif)) {
+      std::fprintf(stderr, "detlint: cannot write %s\n",
+                   opts.sarif_out.c_str());
+      return 2;
     }
   }
-  if (total > 0) {
-    std::printf("detlint: %zu finding(s)\n", total);
+  if (!opts.sarif_to_stdout) {
+    for (const Finding& f : findings) {
+      std::printf("%s:%d: error: %s [detlint-%s]\n", f.path.c_str(), f.line,
+                  f.message.c_str(), f.check.c_str());
+    }
+  }
+  // Status lines go to stderr so `--format=sarif` leaves pure JSON on
+  // stdout.
+  if (!findings.empty()) {
+    std::fprintf(stderr, "detlint: %zu finding(s)", findings.size());
+    if (baselined > 0) std::fprintf(stderr, " (+%zu baselined)", baselined);
+    std::fprintf(stderr, "\n");
     return 1;
+  }
+  if (baselined > 0) {
+    std::fprintf(stderr, "detlint: clean (%zu baselined finding(s))\n",
+                 baselined);
   }
   return 0;
 }
 
 int RunSelfTest(const fs::path& data_dir) {
-  std::vector<fs::path> files;
-  GatherFiles(data_dir, &files);
-  std::sort(files.begin(), files.end());
-  if (files.empty()) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<InputFile> inputs;
+  GatherFiles(data_dir, &inputs);
+  std::sort(inputs.begin(), inputs.end(),
+            [](const InputFile& a, const InputFile& b) {
+              return a.path < b.path;
+            });
+  if (inputs.empty()) {
     std::fprintf(stderr, "detlint: no fixtures under %s\n", data_dir.c_str());
     return 2;
   }
   int failures = 0;
-  for (const fs::path& file : files) {
+  size_t fixtures = 0;
+  for (const InputFile& input : inputs) {
     std::string content;
-    if (!ReadFile(file, &content)) {
-      std::fprintf(stderr, "detlint: cannot read %s\n", file.c_str());
+    if (!ReadFile(input.path, &content)) {
+      std::fprintf(stderr, "detlint: cannot read %s\n", input.path.c_str());
       return 2;
     }
-    const FileScan scan = Lex(content);
-    const std::vector<Finding> findings = LintFile(data_dir, file, scan);
+    FileScan scan = Lex(content);
+    ++fixtures;
+    const std::string path = scan.pretend_path.empty()
+                                 ? RelativeTo(data_dir, input.path)
+                                 : scan.pretend_path;
+    // Each fixture is its own single-file repo: fixtures pretending the
+    // same src/ path must not see each other's definitions.
+    std::vector<std::pair<std::string, FileScan>> one;
+    one.emplace_back(path, std::move(scan));
+    const RepoIndex repo = BuildRepoIndex(std::move(one));
+    RepoCheckInput check_in;
+    check_in.repo = &repo;
+    const std::vector<Finding> findings = RunRepoChecks(check_in);
+    const FileScan& fixture_scan = repo.scans.front();
 
     // Every finding must be expected; every expectation must fire.
     std::set<std::pair<int, std::string>> satisfied;
     for (const Finding& f : findings) {
-      auto it = scan.expects.find(f.line);
-      if (it != scan.expects.end() && it->second.count(f.check) > 0) {
+      auto it = fixture_scan.expects.find(f.line);
+      if (it != fixture_scan.expects.end() && it->second.count(f.check) > 0) {
         satisfied.insert({f.line, f.check});
         continue;
       }
       std::printf("FAIL %s:%d: unexpected finding [detlint-%s] %s\n",
-                  file.filename().c_str(), f.line, f.check.c_str(),
+                  input.path.filename().c_str(), f.line, f.check.c_str(),
                   f.message.c_str());
       ++failures;
     }
-    for (const auto& [line, checks] : scan.expects) {
+    for (const auto& [line, checks] : fixture_scan.expects) {
       for (const std::string& check : checks) {
         if (satisfied.count({line, check}) > 0) continue;
         std::printf("FAIL %s:%d: expected [detlint-%s] did not fire\n",
-                    file.filename().c_str(), line, check.c_str());
+                    input.path.filename().c_str(), line, check.c_str());
         ++failures;
       }
     }
   }
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
   if (failures > 0) {
     std::printf("detlint self-test: %d failure(s) over %zu fixture(s)\n",
-                failures, files.size());
+                failures, fixtures);
     return 1;
   }
-  std::printf("detlint self-test: %zu fixture(s) OK\n", files.size());
+  std::printf("detlint self-test: %zu fixture(s) OK in %.1f ms\n", fixtures,
+              ms);
   return 0;
 }
 
 int Main(int argc, char** argv) {
-  fs::path root = fs::current_path();
-  std::vector<fs::path> files;
+  LintOptions opts;
+  opts.root = fs::current_path();
+  std::vector<InputFile> inputs;
   bool self_test = false;
   fs::path self_test_dir;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--root=", 0) == 0) {
-      root = fs::path(arg.substr(7));
+      opts.root = fs::path(arg.substr(7));
     } else if (arg.rfind("--compdb=", 0) == 0) {
-      if (!GatherFromCompdb(fs::path(arg.substr(9)), &files)) {
+      if (!GatherFromCompdb(fs::path(arg.substr(9)), &inputs)) {
         std::fprintf(stderr, "detlint: cannot read compdb %s\n",
                      arg.substr(9).c_str());
         return 2;
       }
+    } else if (arg.rfind("--format=", 0) == 0) {
+      const std::string format = arg.substr(9);
+      if (format == "sarif") {
+        opts.sarif_to_stdout = true;
+      } else if (format != "text") {
+        std::fprintf(stderr, "detlint: unknown format %s\n", format.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--sarif-out=", 0) == 0) {
+      opts.sarif_out = fs::path(arg.substr(12));
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      opts.baseline = fs::path(arg.substr(11));
+    } else if (arg.rfind("--write-baseline=", 0) == 0) {
+      opts.write_baseline = fs::path(arg.substr(17));
     } else if (arg == "--self-test") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "detlint: --self-test needs a fixture dir\n");
@@ -217,24 +388,30 @@ int Main(int argc, char** argv) {
       self_test_dir = fs::path(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: detlint [--root=DIR] [--compdb=compile_commands.json] "
-          "[paths...]\n       detlint --self-test FIXTURE_DIR\n");
+          "usage: detlint [--root=DIR] [--compdb=compile_commands.json]\n"
+          "               [--format=text|sarif] [--sarif-out=FILE]\n"
+          "               [--baseline=FILE] [--write-baseline=FILE] "
+          "[paths...]\n"
+          "       detlint --self-test FIXTURE_DIR\n");
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "detlint: unknown flag %s\n", arg.c_str());
       return 2;
     } else {
-      GatherFiles(fs::path(arg), &files);
+      GatherFiles(fs::path(arg), &inputs);
     }
   }
 
   if (self_test) return RunSelfTest(self_test_dir);
-  if (files.empty()) {
+  if (inputs.empty()) {
     std::fprintf(stderr, "detlint: no input files (see --help)\n");
     return 2;
   }
-  std::sort(files.begin(), files.end());
-  return RunLint(root, files);
+  std::sort(inputs.begin(), inputs.end(),
+            [](const InputFile& a, const InputFile& b) {
+              return a.path < b.path;
+            });
+  return RunLint(opts, inputs);
 }
 
 }  // namespace

@@ -1,0 +1,103 @@
+#include "sarif.h"
+
+#include <cstdio>
+
+namespace detlint {
+
+namespace {
+
+/// JSON string escaping; non-ASCII bytes pass through (SARIF is UTF-8).
+std::string Escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SarifReport(const std::vector<Finding>& findings) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"detlint\",\n"
+      "          \"informationUri\": "
+      "\"https://example.invalid/mobicache/tools/detlint\",\n"
+      "          \"rules\": [\n";
+  const std::vector<CheckMeta>& catalogue = CheckCatalogue();
+  for (size_t i = 0; i < catalogue.size(); ++i) {
+    out += "            {\n";
+    out += "              \"id\": \"detlint-" +
+           std::string(catalogue[i].name) + "\",\n";
+    out += "              \"shortDescription\": { \"text\": \"" +
+           Escaped(catalogue[i].summary) + "\" }\n";
+    out += i + 1 < catalogue.size() ? "            },\n" : "            }\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "        {\n";
+    out += "          \"ruleId\": \"detlint-" + f.check + "\",\n";
+    out += "          \"level\": \"error\",\n";
+    out += "          \"message\": { \"text\": \"" + Escaped(f.message) +
+           "\" },\n";
+    out +=
+        "          \"locations\": [\n"
+        "            {\n"
+        "              \"physicalLocation\": {\n"
+        "                \"artifactLocation\": {\n";
+    out += "                  \"uri\": \"" + Escaped(f.path) + "\",\n";
+    out +=
+        "                  \"uriBaseId\": \"SRCROOT\"\n"
+        "                },\n";
+    out += "                \"region\": { \"startLine\": " +
+           std::to_string(f.line) +
+           " }\n"
+           "              }\n"
+           "            }\n"
+           "          ]\n";
+    out += i + 1 < findings.size() ? "        },\n" : "        }\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace detlint

@@ -1,0 +1,24 @@
+// Minimal SARIF 2.1.0 emission for detlint findings: one run, one driver,
+// the full rule catalogue, one result per finding with a physicalLocation
+// (repo-relative URI under the SRCROOT uriBaseId, 1-based startLine). The
+// output is fully deterministic — no absolute paths, timestamps or tool
+// versions — so a checked-in golden can diff it byte-for-byte, and CI can
+// upload it as the lint artifact.
+
+#ifndef MOBICACHE_TOOLS_DETLINT_SARIF_H_
+#define MOBICACHE_TOOLS_DETLINT_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "checks.h"
+
+namespace detlint {
+
+/// Serializes `findings` (already sorted and baseline-filtered) as a SARIF
+/// 2.1.0 document, trailing newline included.
+std::string SarifReport(const std::vector<Finding>& findings);
+
+}  // namespace detlint
+
+#endif  // MOBICACHE_TOOLS_DETLINT_SARIF_H_

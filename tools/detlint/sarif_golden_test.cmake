@@ -1,0 +1,43 @@
+# Golden SARIF snapshot: the emitter's output for a fixed fixture must stay
+# byte-identical. Catches accidental nondeterminism (map ordering,
+# timestamps, absolute paths) and unreviewed format drift — the SARIF shape
+# is consumed by CI upload, so changes must be deliberate: regenerate the
+# golden with
+#   detlint --root=<repo> --format=sarif \
+#       tools/detlint_test_data/transitive_alloc_bad.cc \
+#       > tools/detlint_test_data/transitive_alloc_bad.sarif
+# and review the diff.
+#
+# Invoked as:
+#   cmake -DDETLINT=<exe> -DROOT=<repo> -DFIXTURE=<cc> -DGOLDEN=<sarif>
+#         -DOUT=<scratch> -P sarif_golden_test.cmake
+
+foreach(var DETLINT ROOT FIXTURE GOLDEN OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "sarif_golden_test: missing -D${var}=")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${DETLINT} --root=${ROOT} --format=sarif ${FIXTURE}
+  OUTPUT_FILE ${OUT}
+  ERROR_VARIABLE stderr_text
+  RESULT_VARIABLE rc
+)
+# The fixture carries a deliberate finding, so the lint exit code is 1;
+# anything else (0 = emitter missed it, 2 = usage/IO error) is a failure.
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+          "sarif_golden_test: expected exit 1, got ${rc}: ${stderr_text}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE same
+)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+          "sarif_golden_test: ${OUT} differs from golden ${GOLDEN}; if the "
+          "change is deliberate, regenerate the golden (see header) and "
+          "review the diff")
+endif()

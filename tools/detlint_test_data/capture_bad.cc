@@ -1,0 +1,21 @@
+// Fixture: eventfn-capture-budget. A scheduled lambda's captures must fit
+// EventFn's 48-byte inline buffer (there is no heap fallback). Capturing a
+// string (est. 32) plus a vector (est. 24) blows the budget; a default
+// capture defeats the static estimate entirely and is flagged outright.
+// detlint:pretend(src/core/capture_bad.cc)
+
+#include <string>
+#include <vector>
+
+namespace mobicache {
+
+void ProbeDriver::Arm(SimTime when) {
+  std::string label = BuildLabel();
+  std::vector<double> samples = Snapshot();
+  sim_->ScheduleAt(when, [label, samples] {  // detlint:expect(eventfn-capture-budget)
+    Consume(label, samples);
+  });
+  sim_->ScheduleAfter(1.0, [=] { Tick(); });  // detlint:expect(eventfn-capture-budget)
+}
+
+}  // namespace mobicache

@@ -1,0 +1,15 @@
+// Fixture: eventfn-capture-budget, clean twin. Pointers, indices and
+// scalar stamps keep the capture well under the 48-byte inline buffer —
+// the idiom the real event sites use: capture `this` plus a couple of
+// 8-byte values, never owning containers.
+// detlint:pretend(src/core/capture_good.cc)
+
+namespace mobicache {
+
+void ProbeDriver::Arm(SimTime when, ItemId id) {
+  sim_->ScheduleAt(when, [this, id, when] { Fire(id, when); });
+  double* slot = &slots_[0];
+  sim_->ScheduleAfter(1.0, [this, slot] { *slot += 1.0; });
+}
+
+}  // namespace mobicache

@@ -1,0 +1,38 @@
+// Fixture: call-graph overload resolution. Two unrelated classes define a
+// method with the same name; the typed receiver must disambiguate. Only
+// HotHelper::Stage is reachable from the Broadcast root, so only its
+// allocation fires — the identically-named ColdHelper::Stage carries the
+// same push_back with NO expect, proving class-qualified resolution (a
+// name-only resolver would flag both).
+// detlint:pretend(src/server/server.cc)
+
+#include <vector>
+
+namespace mobicache {
+
+struct HotHelper {
+  void Stage(uint64_t v) {
+    staged.push_back(v);  // detlint:expect(alloc-event-path)
+  }
+  std::vector<uint64_t> staged;
+};
+
+struct ColdHelper {
+  void Stage(uint64_t v) {
+    staged.push_back(v);  // cold overload: must NOT fire
+  }
+  std::vector<uint64_t> staged;
+};
+
+void Server::Broadcast(uint64_t interval) {
+  HotHelper& hot = HotScratch();
+  hot.Stage(interval);
+}
+
+void Server::Maintain(uint64_t interval) {
+  // Not reachable from any root; even the hot overload stays quiet here.
+  ColdHelper& cold = ColdScratch();
+  cold.Stage(interval);
+}
+
+}  // namespace mobicache

@@ -1,0 +1,23 @@
+// Fixture: lexer raw-string / comment interaction. The prose inside the
+// raw string below contains `//` and a directive-looking marker; neither
+// may affect lexing — the directive must stay inert and the const_cast
+// after the raw string must still be seen. The continued line comment
+// (backslash-newline) must swallow its next physical line: the const_cast
+// spelled there is commentary, not code.
+// detlint:pretend(src/core/rawstring_comment.cc)
+
+namespace mobicache {
+
+const char* kUsage = R"usage(
+  probe [--items=N]   // not a comment: this is string content
+  detlint:allow-file(const-cast)  <- inert: inside a raw string
+)usage";
+
+// The rest of this comment continues onto the next physical line \
+   so this const_cast<int*>(x) never becomes tokens the checks can see.
+
+int* Touch(const int* p) {
+  return const_cast<int*>(p);  // detlint:expect(const-cast)
+}
+
+}  // namespace mobicache

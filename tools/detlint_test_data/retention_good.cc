@@ -1,0 +1,27 @@
+// Fixture: retention-discipline, clean twin. A retention-class check
+// anywhere earlier in the function body — an assert mirroring the ones
+// inside Database, or an if over retention() — sanctions the raw read.
+// detlint:pretend(src/core/retention_good.cc)
+
+#include <cassert>
+
+namespace mobicache {
+
+double EstimatorProbe::MeanGap(SimTime lo, SimTime hi) {
+  assert(db_->retention() == JournalRetention::kFullWindow &&
+         "raw gap estimation needs the full-window journal");
+  double sum = 0.0;
+  uint64_t n = 0;
+  for (const UpdatedItem& ev : db_->JournalIn(lo, hi)) {
+    sum += ev.updated_at;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+uint64_t EstimatorProbe::VersionOf(ItemId id) {
+  if (db_->retention() != JournalRetention::kFullWindow) return 0;
+  return db_->VersionAt(id);
+}
+
+}  // namespace mobicache

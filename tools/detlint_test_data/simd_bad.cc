@@ -1,0 +1,25 @@
+// Fixture: simd-bit-exact. Pretends to live in a SIMD kernel file, where
+// approximate intrinsics (reciprocal / rsqrt estimates) and any FMA
+// spelling are banned: their results differ across microarchitectures or
+// contract the intermediate rounding, breaking the bit-exact guarantee
+// against the scalar reference.
+// detlint:pretend(src/util/simd_decay.cc)
+
+namespace mobicache::util {
+
+void DecayLanesApprox(float* v, float rate, int n) {
+  for (int i = 0; i < n; i += 8) {
+    __m256 x = _mm256_loadu_ps(v + i);
+    __m256 r = _mm256_rcp_ps(x);             // detlint:expect(simd-bit-exact)
+    __m256 s = _mm256_rsqrt_ps(x);           // detlint:expect(simd-bit-exact)
+    __m256 y = _mm256_fmadd_ps(r, s, x);     // detlint:expect(simd-bit-exact)
+    _mm256_storeu_ps(v + i, y);
+  }
+  (void)rate;
+}
+
+double ScalarTail(double acc, double w, double x) {
+  return fma(w, x, acc);  // detlint:expect(simd-bit-exact)
+}
+
+}  // namespace mobicache::util

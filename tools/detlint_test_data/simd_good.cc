@@ -1,0 +1,25 @@
+// Fixture: simd-bit-exact, clean twin. Exact div/sqrt/mul+add sequences
+// are the sanctioned way to write the kernels: every operation rounds, so
+// the lanes match the scalar reference bit-for-bit. An identifier that
+// merely contains "fma" (not a call to the banned spellings) is legal.
+// detlint:pretend(src/util/simd_decay_good.cc)
+
+namespace mobicache::util {
+
+void DecayLanesExact(float* v, int n) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  for (int i = 0; i < n; i += 8) {
+    __m256 x = _mm256_loadu_ps(v + i);
+    __m256 r = _mm256_div_ps(one, x);
+    __m256 s = _mm256_sqrt_ps(x);
+    __m256 y = _mm256_add_ps(_mm256_mul_ps(r, s), x);
+    _mm256_storeu_ps(v + i, y);
+  }
+}
+
+double ScalarTail(double acc, double w, double x) {
+  const double fma_free_product = w * x;  // rounds before the add
+  return acc + fma_free_product;
+}
+
+}  // namespace mobicache::util

@@ -1,0 +1,29 @@
+// Fixture: alloc-event-path, three-deep transitive closure. None of the
+// stage helpers appear in any configured list — the allocation in
+// StageThree is reached only because Broadcast (a hot root) calls
+// StageOne, which calls StageTwo, which calls StageThree. This is the
+// fixture that must keep firing even if every *other* root name is
+// deleted from the config: Broadcast alone seeds the chain.
+// detlint:pretend(src/server/server.cc)
+
+#include <vector>
+
+namespace mobicache {
+
+void Server::Broadcast(uint64_t interval) {
+  StageOne(interval);
+}
+
+void Server::StageOne(uint64_t interval) {
+  StageTwo(interval + 1);
+}
+
+void Server::StageTwo(uint64_t interval) {
+  StageThree(interval + 1);
+}
+
+void Server::StageThree(uint64_t interval) {
+  staged_.push_back(interval);  // detlint:expect(alloc-event-path)
+}
+
+}  // namespace mobicache
